@@ -1,0 +1,50 @@
+"""Ablation: sensitivity to the RMS re-scheduling interval.
+
+The paper fixes the re-scheduling interval to 1 second "to obtain a very
+reactive system" (Section 5.1.3).  This ablation varies the interval and
+reports how the AMR end time and the PSA waste react: longer intervals make
+the RMS cheaper to run but slow down update handling and increase waste.
+"""
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments import run_scenario
+from repro.metrics import format_table
+
+INTERVALS = (0.1, 1.0, 10.0, 60.0)
+
+
+def test_rescheduling_interval_ablation(benchmark, bench_scale):
+    """Time the 1-second configuration and print the full interval sweep."""
+    result = benchmark.pedantic(
+        run_scenario,
+        kwargs=dict(scale=bench_scale, seed=0, overcommit=1.0),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.amr.finished()
+
+    rows = []
+    for interval in INTERVALS:
+        scale = replace(bench_scale, rescheduling_interval=interval)
+        outcome = run_scenario(scale, seed=0, overcommit=1.0)
+        rows.append(
+            (
+                interval,
+                round(outcome.metrics.amr_end_time, 1),
+                round(outcome.metrics.psa_waste_node_seconds, 1),
+                f"{outcome.metrics.used_resources_percent:.1f}%",
+            )
+        )
+    print()
+    print("Ablation -- RMS re-scheduling interval")
+    print(
+        format_table(
+            ["interval (s)", "AMR end time (s)", "PSA waste (node*s)", "used resources"],
+            rows,
+        )
+    )
+    # A 1-second interval must not be slower for the AMR than a 60-second one.
+    end_by_interval = {row[0]: row[1] for row in rows}
+    assert end_by_interval[1.0] <= end_by_interval[60.0] * 1.05

@@ -1,0 +1,39 @@
+"""Benchmark and reproduction of Figure 10 (announced updates)."""
+from __future__ import annotations
+
+from repro.experiments import fig10_announced, run_scenario
+
+
+def test_fig10_single_announced_scenario(benchmark, bench_scale):
+    """Time one announced-update scenario (announce interval = task duration)."""
+    result = benchmark.pedantic(
+        run_scenario,
+        kwargs=dict(
+            scale=bench_scale,
+            seed=0,
+            overcommit=1.0,
+            announce_interval=bench_scale.psa1_task_duration,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.amr.finished()
+    assert result.metrics.psa_waste_node_seconds == 0.0
+
+
+def test_fig10_sweep_report(benchmark, report_scale):
+    """Time (and print) the announce-interval sweep."""
+    intervals = tuple(
+        report_scale.psa1_task_duration * f for f in (0.0, 0.25, 0.5, 0.75, 0.92, 1.0, 1.2)
+    )
+    points = benchmark.pedantic(
+        fig10_announced.run,
+        kwargs=dict(announce_intervals=intervals, scale=report_scale, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    # Waste vanishes once the announce interval reaches the task duration.
+    assert points[-1].psa_waste_percent == 0.0
+    assert points[0].psa_waste_percent >= points[-1].psa_waste_percent
+    print()
+    print(fig10_announced.main(announce_intervals=intervals, scale=report_scale))

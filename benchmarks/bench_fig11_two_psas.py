@@ -1,0 +1,43 @@
+"""Benchmark and reproduction of Figure 11 (two PSAs, filling vs strict)."""
+from __future__ import annotations
+
+from repro.experiments import fig11_two_psas, run_scenario
+
+
+def test_fig11_single_two_psa_scenario(benchmark, bench_scale):
+    """Time one scenario with two PSAs under the filling policy."""
+    result = benchmark.pedantic(
+        run_scenario,
+        kwargs=dict(
+            scale=bench_scale,
+            seed=0,
+            overcommit=1.0,
+            announce_interval=bench_scale.psa1_task_duration / 2,
+            psa_task_durations=(
+                bench_scale.psa1_task_duration,
+                bench_scale.psa2_task_duration,
+            ),
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.amr.finished()
+    assert len(result.psas) == 2
+
+
+def test_fig11_sweep_report(benchmark, report_scale):
+    """Time (and print) the filling-vs-strict comparison over announce intervals."""
+    intervals = tuple(
+        report_scale.psa1_task_duration * f for f in (0.0, 0.5, 1.0)
+    )
+    points = benchmark.pedantic(
+        fig11_two_psas.run,
+        kwargs=dict(announce_intervals=intervals, scale=report_scale, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    # Equi-partitioning with filling never uses fewer resources than strict.
+    assert all(p.filling_gain_percent >= -1.0 for p in points)
+    assert any(p.filling_gain_percent > 0 for p in points)
+    print()
+    print(fig11_two_psas.main(announce_intervals=intervals, scale=report_scale))

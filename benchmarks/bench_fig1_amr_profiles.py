@@ -1,0 +1,12 @@
+"""Benchmark and reproduction of Figure 1 (AMR working-set evolutions)."""
+from __future__ import annotations
+
+from repro.experiments import fig1_amr_profiles
+
+
+def test_fig1_profile_generation(benchmark):
+    """Time the generation of one batch of normalised profiles."""
+    profiles = benchmark(fig1_amr_profiles.run, seeds=tuple(range(5)))
+    assert len(profiles) == 5
+    print()
+    print(fig1_amr_profiles.main(seeds=tuple(range(5))))

@@ -1,0 +1,12 @@
+"""Benchmark and reproduction of Figure 2 (AMR speed-up model curves)."""
+from __future__ import annotations
+
+from repro.experiments import fig2_speedup_fit
+
+
+def test_fig2_speedup_curves(benchmark):
+    """Time the evaluation of every Figure 2 curve."""
+    curves = benchmark(fig2_speedup_fit.run)
+    assert set(curves) == set(fig2_speedup_fit.PAPER_MESH_SIZES_GIB)
+    print()
+    print(fig2_speedup_fit.main(node_counts=(1, 4, 16, 64, 256, 1024, 4096, 16384)))

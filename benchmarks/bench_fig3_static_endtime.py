@@ -1,0 +1,23 @@
+"""Benchmark and reproduction of Figure 3 (end-time increase of n_eq)."""
+from __future__ import annotations
+
+from repro.experiments import fig3_static_endtime
+
+
+def test_fig3_end_time_increase(benchmark):
+    """Time the Figure 3 sweep over target efficiencies (reduced seeds)."""
+    points = benchmark(
+        fig3_static_endtime.run,
+        target_efficiencies=(0.1, 0.3, 0.5, 0.7, 0.8),
+        seeds=(0, 1, 2),
+        num_steps=300,
+    )
+    assert all(p.feasible_fraction > 0 for p in points.values())
+    print()
+    print(
+        fig3_static_endtime.main(
+            target_efficiencies=fig3_static_endtime.PAPER_TARGET_EFFICIENCIES,
+            seeds=(0, 1, 2),
+            num_steps=300,
+        )
+    )

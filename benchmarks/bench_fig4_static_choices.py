@@ -1,0 +1,16 @@
+"""Benchmark and reproduction of Figure 4 (static allocation choices)."""
+from __future__ import annotations
+
+from repro.experiments import fig4_static_choices
+
+
+def test_fig4_static_choices(benchmark):
+    """Time the Figure 4 sweep over relative peak data sizes."""
+    rows = benchmark(
+        fig4_static_choices.run,
+        relative_sizes=fig4_static_choices.PAPER_RELATIVE_SIZES,
+        num_steps=300,
+    )
+    assert len(rows) == len(fig4_static_choices.PAPER_RELATIVE_SIZES)
+    print()
+    print(fig4_static_choices.main(num_steps=300))

@@ -1,0 +1,37 @@
+"""Benchmark and reproduction of Figure 9 (spontaneous updates).
+
+The timed section runs one dynamic-allocation scenario; after timing, the
+full static-vs-dynamic sweep over overcommit factors is printed in the same
+form as the figure's two panels (AMR used resources and PSA waste).
+"""
+from __future__ import annotations
+
+from repro.experiments import EvaluationScale, fig9_spontaneous, run_scenario
+
+BENCH_OVERCOMMITS = (0.5, 1.0, 2.0, 5.0)
+
+
+def test_fig9_single_dynamic_scenario(benchmark, bench_scale):
+    """Time one dynamic AMR + PSA scenario (the unit of the Figure 9 sweep)."""
+    result = benchmark.pedantic(
+        run_scenario,
+        kwargs=dict(scale=bench_scale, seed=0, overcommit=1.0),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.amr.finished()
+
+
+def test_fig9_sweep_report(benchmark, report_scale):
+    """Time (and print) the static-vs-dynamic sweep over overcommit factors."""
+    points = benchmark.pedantic(
+        fig9_spontaneous.run,
+        kwargs=dict(overcommit_factors=BENCH_OVERCOMMITS, scale=report_scale, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    assert all(
+        p.static_amr_used_node_seconds >= p.dynamic_amr_used_node_seconds for p in points
+    )
+    print()
+    print(fig9_spontaneous.main(overcommit_factors=BENCH_OVERCOMMITS, scale=report_scale))

@@ -1,0 +1,55 @@
+"""Scheduler throughput benchmark (paper Section 3.2).
+
+The paper reports that its Python implementation "is able to handle
+approximately 500 requests/second" on a 2011-era CPU and that the scheduling
+algorithm is linear in the number of requests.  This benchmark measures one
+scheduling pass over a growing number of requests and prints the resulting
+requests-per-second figure, so the linear-complexity claim can be checked on
+today's hardware.
+"""
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import ApplicationRequests, Request, RequestType, Scheduler
+from repro.metrics import format_table
+
+
+def build_workload(num_apps: int, requests_per_app: int):
+    """Applications with a pre-allocation, non-preemptible and preemptible mix."""
+    applications = {}
+    for i in range(num_apps):
+        app = ApplicationRequests(f"app{i}")
+        app.add(Request("c0", 32, math.inf, RequestType.PREALLOCATION))
+        for j in range(requests_per_app):
+            app.add(Request("c0", 4 + (j % 8), 600.0 + 60.0 * j, RequestType.NON_PREEMPTIBLE))
+        app.add(Request("c0", 16, math.inf, RequestType.PREEMPTIBLE))
+        applications[f"app{i}"] = app
+    return applications
+
+
+@pytest.mark.parametrize("num_apps,requests_per_app", [(4, 4), (8, 8), (16, 8)])
+def test_scheduling_pass_throughput(benchmark, num_apps, requests_per_app):
+    """Time one full scheduling pass and report requests per second."""
+    scheduler = Scheduler({"c0": 4096})
+
+    def one_pass():
+        applications = build_workload(num_apps, requests_per_app)
+        return scheduler.schedule(applications, now=0.0), applications
+
+    (result, applications) = benchmark(one_pass)
+    total_requests = sum(len(app.all_requests()) for app in applications.values())
+    seconds = benchmark.stats.stats.mean
+    throughput = total_requests / seconds if seconds > 0 else float("inf")
+    print()
+    print(
+        format_table(
+            ["applications", "requests", "pass time (s)", "requests/s"],
+            [(num_apps, total_requests, f"{seconds:.4f}", f"{throughput:,.0f}")],
+        )
+    )
+    assert result.non_preemptive_views
+    # Even the largest configuration must beat the paper's 500 req/s figure.
+    assert throughput > 500

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Efficient resource filling with two PSAs (paper Section 5.4).
+
+The holes an evolving application leaves behind are often too short for a
+PSA with long tasks to exploit.  CooRMv2's equi-partitioning *with filling*
+offers those resources to another PSA with shorter tasks; the strict
+equi-partitioning baseline does not, and the holes stay idle.
+
+This example runs both policies on the same workload -- one AMR application,
+one PSA with long tasks and one PSA with short tasks -- and prints the
+resulting resource usage (the comparison of the paper's Figure 11).
+
+Run with::
+
+    python examples/resource_filling_two_psas.py
+"""
+from __future__ import annotations
+
+from repro.experiments import EvaluationScale, run_scenario
+from repro.experiments.runner import build_evolution
+from repro.metrics import format_table
+
+
+def main() -> None:
+    scale = EvaluationScale.tiny()
+    evolution = build_evolution(scale, seed=11)
+    task_durations = (scale.psa1_task_duration, scale.psa2_task_duration)
+    announce = scale.psa1_task_duration / 2
+
+    rows = []
+    for label, strict in (("equi-partitioning + filling (CooRMv2)", False),
+                          ("strict equi-partitioning (baseline)", True)):
+        result = run_scenario(
+            scale,
+            seed=11,
+            overcommit=1.0,
+            announce_interval=announce,
+            psa_task_durations=task_durations,
+            strict_equipartition=strict,
+            evolution=evolution,
+        )
+        long_psa, short_psa = result.psas
+        rows.append(
+            (
+                label,
+                f"{result.metrics.used_resources_percent:.1f}%",
+                long_psa.stats.completed_tasks,
+                short_psa.stats.completed_tasks,
+                f"{result.metrics.psa_waste_node_seconds:.0f}",
+            )
+        )
+
+    print("Two PSAs sharing the resources an AMR application leaves unused")
+    print(
+        f"(PSA1 tasks: {task_durations[0]:.0f} s, PSA2 tasks: {task_durations[1]:.0f} s, "
+        f"announce interval: {announce:.0f} s)"
+    )
+    print()
+    print(
+        format_table(
+            [
+                "sharing policy",
+                "used resources",
+                "PSA1 tasks done",
+                "PSA2 tasks done",
+                "waste (node*s)",
+            ],
+            rows,
+        )
+    )
+    print()
+    print(
+        "Reading: under the filling policy the short-task PSA2 completes many\n"
+        "more tasks because it can use the holes PSA1 cannot, so the overall\n"
+        "resource usage is higher than under strict equi-partitioning."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim so the package installs in environments without `wheel`.
+
+Normal installs should use ``pip install -e .`` (pyproject.toml is the source
+of truth); this file only exists so that ``python setup.py develop`` works on
+minimal/offline toolchains.
+"""
+from setuptools import setup
+
+setup()

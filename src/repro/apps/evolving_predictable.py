@@ -1,0 +1,125 @@
+"""Fully-predictably evolving applications (paper Section 4).
+
+Such an application knows its evolution at submission time (e.g. a static
+workflow): it "sends several non-preemptible requests linked using the NEXT
+constraint.  During its execution, if from one request to another the
+node-count decreases, it has to call done with the node IDs it chooses to
+free.  Otherwise, if the node-count increases, the RMS sends it the new node
+IDs."
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from ..core.request import Request
+from ..core.types import ClusterId, NodeId, RelatedHow, RequestType, Time
+from .base import BaseApplication
+
+__all__ = ["EvolutionPhase", "FullyPredictableEvolvingApplication"]
+
+
+@dataclass(frozen=True)
+class EvolutionPhase:
+    """One phase of a known evolution: a node count held for a duration."""
+
+    node_count: int
+    duration: Time
+
+    def __post_init__(self) -> None:
+        if self.node_count <= 0:
+            raise ValueError("node_count must be positive")
+        if self.duration <= 0 or math.isinf(self.duration):
+            raise ValueError("duration must be positive and finite")
+
+
+class FullyPredictableEvolvingApplication(BaseApplication):
+    """An application whose resource evolution is fully known in advance."""
+
+    def __init__(
+        self,
+        name: str,
+        phases: Sequence[EvolutionPhase],
+        cluster_id: ClusterId = "cluster0",
+    ):
+        super().__init__(name, cluster_id)
+        if not phases:
+            raise ValueError("at least one phase is required")
+        self.phases: Tuple[EvolutionPhase, ...] = tuple(phases)
+        self.requests: List[Request] = []
+        self.phase_starts: List[Time] = []
+        self.current_phase = -1
+        self._submitted = False
+
+    # ------------------------------------------------------------------ #
+    def on_views(self, non_preemptive, preemptive) -> None:
+        super().on_views(non_preemptive, preemptive)
+        if self._submitted:
+            return
+        self._submitted = True
+        previous: Optional[Request] = None
+        for phase in self.phases:
+            request = self.submit(
+                node_count=phase.node_count,
+                duration=phase.duration,
+                rtype=RequestType.NON_PREEMPTIBLE,
+                related_how=RelatedHow.FREE if previous is None else RelatedHow.NEXT,
+                related_to=previous,
+            )
+            self.requests.append(request)
+            previous = request
+
+    def on_start(self, request: Request, node_ids: FrozenSet[NodeId]) -> None:
+        if request not in self.requests:
+            return
+        index = self.requests.index(request)
+        self.current_phase = index
+        self.phase_starts.append(self.now)
+
+        previous = self.requests[index - 1] if index > 0 else None
+        if previous is not None and not previous.finished():
+            # Shrinking transition: the predecessor is still holding nodes;
+            # give back the ones this phase does not need.
+            keep = self.phases[index].node_count
+            surplus = sorted(previous.node_ids)[keep:]
+            self.done(previous, released_node_ids=surplus)
+
+        if index == len(self.requests) - 1:
+            # Completion is the last request expiring.
+            self.rms.simulator.schedule(request.duration, self._complete)
+        else:
+            # Shrinking transitions must be initiated by the application: end
+            # the current request exactly when its phase is over so the NEXT
+            # successor can take over (the RMS handles growing transitions by
+            # sending extra node IDs).
+            next_phase = self.phases[index + 1]
+            if next_phase.node_count < self.phases[index].node_count:
+                self.rms.simulator.schedule(
+                    request.duration, self._end_phase_early, index
+                )
+
+    def _end_phase_early(self, index: int) -> None:
+        request = self.requests[index]
+        if request.finished() or self.killed or self.finished():
+            return
+        keep = self.phases[index + 1].node_count
+        surplus = sorted(request.node_ids)[keep:]
+        self.done(request, released_node_ids=surplus)
+
+    def _complete(self) -> None:
+        if self.finished() or self.killed:
+            return
+        for request in self.requests:
+            if not request.finished():
+                self.done(request)
+        self.finish()
+
+    # ------------------------------------------------------------------ #
+    def planned_node_seconds(self) -> float:
+        """Node-seconds the declared evolution will consume."""
+        return sum(p.node_count * p.duration for p in self.phases)
+
+    def planned_makespan(self) -> float:
+        """Total duration of the declared evolution."""
+        return sum(p.duration for p in self.phases)

@@ -1,0 +1,153 @@
+"""Generic malleable applications (paper Section 4).
+
+A malleable application first sends a non-preemptible request ``r_min`` with
+its minimum requirements, then scans its preemptive view and keeps a
+preemptible request ``r_extra`` (co-allocated with ``r_min``) sized to the
+extra resources it can actually exploit -- for instance rounded down to a
+power of two.  During execution it monitors the preemptive view and updates
+``r_extra`` whenever the availability changes.
+
+The Parameter-Sweep Application of the evaluation is a specialised malleable
+application (its minimum is zero and its granularity is one node); this class
+covers the general pattern and is exercised by tests and examples.
+"""
+from __future__ import annotations
+
+import math
+from typing import Callable, FrozenSet, Optional
+
+from ..core.request import Request
+from ..core.types import ClusterId, NodeId, RelatedHow, RequestType, Time
+from .base import BaseApplication
+
+__all__ = ["MalleableApplication", "power_of_two_selector", "identity_selector"]
+
+
+def power_of_two_selector(available: int) -> int:
+    """Largest power of two not exceeding *available* (0 when none fits)."""
+    if available < 1:
+        return 0
+    return 1 << (int(available).bit_length() - 1)
+
+
+def identity_selector(available: int) -> int:
+    """Use every available node."""
+    return max(0, int(available))
+
+
+class MalleableApplication(BaseApplication):
+    """A malleable job with a fixed minimum and an elastic extra part."""
+
+    def __init__(
+        self,
+        name: str,
+        min_nodes: int,
+        duration: Time,
+        cluster_id: ClusterId = "cluster0",
+        extra_selector: Callable[[int], int] = identity_selector,
+    ):
+        super().__init__(name, cluster_id)
+        if min_nodes <= 0:
+            raise ValueError("min_nodes must be positive")
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        self.min_nodes = int(min_nodes)
+        self.duration = float(duration)
+        self.extra_selector = extra_selector
+
+        self.min_request: Optional[Request] = None
+        self.extra_request: Optional[Request] = None
+        self.start_time: Time = math.nan
+        self.extra_history = []
+        self._submitted = False
+
+    # ------------------------------------------------------------------ #
+    def current_extra_nodes(self) -> int:
+        """Nodes currently held through the preemptible request."""
+        if self.extra_request is None or not self.extra_request.started():
+            return 0
+        if self.extra_request.finished():
+            return 0
+        return len(self.extra_request.node_ids)
+
+    def total_nodes(self) -> int:
+        held = 0
+        if self.min_request is not None and self.min_request.started() and not self.min_request.finished():
+            held += len(self.min_request.node_ids)
+        return held + self.current_extra_nodes()
+
+    # ------------------------------------------------------------------ #
+    def on_views(self, non_preemptive, preemptive) -> None:
+        super().on_views(non_preemptive, preemptive)
+        if not self._submitted:
+            self._submit_initial()
+            return
+        self._adapt_extra()
+
+    def _submit_initial(self) -> None:
+        self._submitted = True
+        self.min_request = self.submit(
+            node_count=self.min_nodes,
+            duration=self.duration,
+            rtype=RequestType.NON_PREEMPTIBLE,
+        )
+        extra = self.extra_selector(self.preemptive_available_now())
+        if extra > 0:
+            self.extra_request = self.submit(
+                node_count=extra,
+                duration=self.duration,
+                rtype=RequestType.PREEMPTIBLE,
+                related_how=RelatedHow.COALLOC,
+                related_to=self.min_request,
+            )
+
+    def _adapt_extra(self) -> None:
+        """Track the preemptive view with the elastic part of the allocation."""
+        if self.finished() or self.killed:
+            return
+        wanted = self.extra_selector(self.preemptive_available_now())
+        self.extra_history.append((self.now, wanted))
+        if self.extra_request is None or self.extra_request.finished():
+            if wanted > 0 and self.min_request is not None and not self.min_request.finished():
+                self.extra_request = self.submit(
+                    node_count=wanted,
+                    duration=self.duration,
+                    rtype=RequestType.PREEMPTIBLE,
+                    related_how=RelatedHow.COALLOC,
+                    related_to=self.min_request,
+                )
+            return
+        if not self.extra_request.started():
+            if self.extra_request.node_count != wanted:
+                old = self.extra_request
+                self.extra_request = None
+                self.done(old)
+                if wanted > 0:
+                    self.extra_request = self.submit(
+                        node_count=wanted,
+                        duration=self.duration,
+                        rtype=RequestType.PREEMPTIBLE,
+                        related_how=RelatedHow.COALLOC,
+                        related_to=self.min_request,
+                    )
+            return
+        held = len(self.extra_request.node_ids)
+        if wanted != held:
+            self.extra_request = self.spontaneous_update(
+                self.extra_request, wanted, duration=self.duration
+            )
+
+    def on_start(self, request: Request, node_ids: FrozenSet[NodeId]) -> None:
+        if request is self.min_request:
+            self.start_time = self.now
+            self.rms.simulator.schedule(self.duration, self._complete)
+        if request.rtype is RequestType.PREEMPTIBLE:
+            self.extra_request = request
+
+    def _complete(self) -> None:
+        if self.finished() or self.killed:
+            return
+        for request in (self.extra_request, self.min_request):
+            if request is not None and not request.finished():
+                self.done(request)
+        self.finish()

@@ -1,0 +1,245 @@
+"""The non-predictably evolving AMR application (paper Sections 4 and 5.1.1).
+
+The application executes a fixed number of AMR steps.  Before each step it
+only knows the *current* working-set size; it targets a parallel efficiency
+(75 % in the paper) by adapting its node count with CooRMv2 updates:
+
+* it opens a **pre-allocation** sized by the user's guess of the equivalent
+  static allocation (the guess quality is the *overcommit factor*);
+* inside the pre-allocation it keeps one **non-preemptible** request whose
+  node count tracks the efficiency target, updated with *spontaneous* updates
+  (announce interval 0) or *announced* updates (non-zero announce interval);
+* in the **static** variant the application is forced to use all the
+  pre-allocated nodes for the whole run (the baseline of Figure 9).
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Tuple
+
+from ..core.request import Request
+from ..core.types import ClusterId, NodeId, RelatedHow, RequestType, Time
+from ..models.amr_evolution import WorkingSetEvolution
+from ..models.speedup import PAPER_SPEEDUP_MODEL, SpeedupModel
+from .base import BaseApplication
+
+__all__ = ["AmrApplication", "AmrStepRecord"]
+
+
+@dataclass(frozen=True)
+class AmrStepRecord:
+    """What happened during one AMR step (for analysis and tests)."""
+
+    step: int
+    start_time: Time
+    duration: Time
+    node_count: int
+    data_size_mib: float
+
+    @property
+    def node_seconds(self) -> float:
+        return self.node_count * self.duration
+
+
+class AmrApplication(BaseApplication):
+    """A synthetic AMR application driven by a working-set evolution.
+
+    Parameters
+    ----------
+    name, cluster_id:
+        Identification (see :class:`~repro.apps.base.BaseApplication`).
+    evolution:
+        The per-step working-set sizes.  The application reads them one step
+        at a time (it cannot look ahead).
+    preallocation_nodes:
+        Size of the pre-allocation = the user's guess of the equivalent
+        static allocation times the overcommit factor.
+    target_efficiency:
+        Parallel efficiency the application tries to maintain (0.75).
+    announce_interval:
+        0 for spontaneous updates; otherwise the announced-update interval in
+        seconds (Section 5.3).
+    static_allocation:
+        When True the application uses all pre-allocated nodes for the whole
+        run and never updates (the "static" curve of Figure 9).
+    speedup_model:
+        Step-duration model; defaults to the paper's fitted constants.
+    preallocation_duration:
+        Duration of the pre-allocation request; ``inf`` (default) keeps it
+        open until the application completes.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        evolution: WorkingSetEvolution,
+        preallocation_nodes: int,
+        cluster_id: ClusterId = "cluster0",
+        target_efficiency: float = 0.75,
+        announce_interval: Time = 0.0,
+        static_allocation: bool = False,
+        speedup_model: SpeedupModel = PAPER_SPEEDUP_MODEL,
+        preallocation_duration: Time = math.inf,
+    ):
+        super().__init__(name, cluster_id)
+        if preallocation_nodes <= 0:
+            raise ValueError("preallocation_nodes must be positive")
+        if not 0 < target_efficiency <= 1:
+            raise ValueError("target_efficiency must be in (0, 1]")
+        if announce_interval < 0:
+            raise ValueError("announce_interval must be non-negative")
+        self.evolution = evolution
+        self.preallocation_nodes = int(preallocation_nodes)
+        self.target_efficiency = target_efficiency
+        self.announce_interval = float(announce_interval)
+        self.static_allocation = static_allocation
+        self.speedup_model = speedup_model
+        self.preallocation_duration = preallocation_duration
+
+        # Protocol state.
+        self.preallocation_request: Optional[Request] = None
+        self.active_request: Optional[Request] = None
+        self._pending_update_request: Optional[Request] = None
+        self._submitted = False
+
+        # Execution state.
+        self.current_step = 0
+        self.allocated_nodes = 0
+        self.computation_started_at: Time = math.nan
+        self.step_records: List[AmrStepRecord] = []
+        self.used_node_seconds = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Sizing decisions
+    # ------------------------------------------------------------------ #
+    def required_nodes(self, step: int) -> int:
+        """Node count the application wants for *step* (capped by the PA)."""
+        if self.static_allocation:
+            return self.preallocation_nodes
+        size = self.evolution.size_at(step)
+        wanted = self.speedup_model.nodes_for_efficiency(size, self.target_efficiency)
+        return max(1, min(wanted, self.preallocation_nodes))
+
+    # ------------------------------------------------------------------ #
+    # Protocol callbacks
+    # ------------------------------------------------------------------ #
+    def on_views(self, non_preemptive, preemptive) -> None:
+        super().on_views(non_preemptive, preemptive)
+        if not self._submitted:
+            self._submit_initial_requests()
+
+    def _submit_initial_requests(self) -> None:
+        """Send the pre-allocation and the first non-preemptible request."""
+        self._submitted = True
+        self.preallocation_request = self.submit(
+            node_count=self.preallocation_nodes,
+            duration=self.preallocation_duration,
+            rtype=RequestType.PREALLOCATION,
+        )
+        self.active_request = self.submit(
+            node_count=self.required_nodes(0),
+            duration=math.inf,
+            rtype=RequestType.NON_PREEMPTIBLE,
+        )
+
+    def on_start(self, request: Request, node_ids: FrozenSet[NodeId]) -> None:
+        if request.rtype is RequestType.PREALLOCATION:
+            return
+        # A non-preemptible request started (initial request, spontaneous
+        # replacement or the future part of an announced update).
+        self.allocated_nodes = len(node_ids)
+        self.active_request = request
+        if request is self._pending_update_request:
+            self._pending_update_request = None
+        if math.isnan(self.computation_started_at):
+            self.computation_started_at = self.now
+            self._run_step()
+
+    # ------------------------------------------------------------------ #
+    # Step loop
+    # ------------------------------------------------------------------ #
+    def _run_step(self) -> None:
+        if self.finished() or self.killed:
+            return
+        if self.current_step >= self.evolution.num_steps:
+            self._complete()
+            return
+        size = self.evolution.size_at(self.current_step)
+        nodes = max(1, self.allocated_nodes)
+        duration = self.speedup_model.step_duration(nodes, size)
+        self.step_records.append(
+            AmrStepRecord(
+                step=self.current_step,
+                start_time=self.now,
+                duration=duration,
+                node_count=nodes,
+                data_size_mib=size,
+            )
+        )
+        self.used_node_seconds += nodes * duration
+        self.rms.simulator.schedule(duration, self._step_finished)
+
+    def _step_finished(self) -> None:
+        if self.finished() or self.killed:
+            return
+        self.current_step += 1
+        if self.current_step >= self.evolution.num_steps:
+            self._complete()
+            return
+        if not self.static_allocation:
+            self._maybe_update()
+        self._run_step()
+
+    def _maybe_update(self) -> None:
+        """Adapt the non-preemptible request to the next step's needs."""
+        if self._pending_update_request is not None:
+            # Only one outstanding update at a time; the application keeps
+            # computing on its current nodes until the update is served.
+            return
+        if self.active_request is None or not self.active_request.started():
+            return
+        required = self.required_nodes(self.current_step)
+        if required == self.allocated_nodes:
+            return
+        if required < self.allocated_nodes or self.announce_interval <= 0:
+            # Shrinking (release immediately) or spontaneous growth.
+            new_request = self.spontaneous_update(self.active_request, required)
+            self._pending_update_request = new_request
+            if required < self.allocated_nodes:
+                # The surviving nodes keep computing; account for the shrink
+                # right away so the next step uses the reduced count.
+                self.allocated_nodes = required
+        else:
+            # Announced growth: request the node count needed *now*; it will
+            # only be granted after the announce interval (Section 5.3).
+            bridge, future = self.announced_update(
+                self.active_request, required, self.announce_interval
+            )
+            self._pending_update_request = future
+
+    def _complete(self) -> None:
+        """All steps done: terminate requests and close the session."""
+        if self.active_request is not None and not self.active_request.finished():
+            self.done(self.active_request)
+        if self._pending_update_request is not None and not self._pending_update_request.finished():
+            self.done(self._pending_update_request)
+        if self.preallocation_request is not None and not self.preallocation_request.finished():
+            self.done(self.preallocation_request)
+        self.finish()
+
+    # ------------------------------------------------------------------ #
+    # Metrics
+    # ------------------------------------------------------------------ #
+    def computation_time(self) -> float:
+        """Wall-clock time from the first allocation to completion."""
+        if math.isnan(self.computation_started_at) or not self.finished():
+            return math.nan
+        return self.finished_at - self.computation_started_at
+
+    def mean_nodes(self) -> float:
+        """Time-averaged allocated node count over the whole computation."""
+        total_time = sum(rec.duration for rec in self.step_records)
+        if total_time <= 0:
+            return 0.0
+        return self.used_node_seconds / total_time

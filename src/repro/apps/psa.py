@@ -1,0 +1,267 @@
+"""The malleable Parameter-Sweep Application (paper Sections 4 and 5.1.2).
+
+The PSA has an infinite supply of independent single-node tasks of fixed
+duration ``d_task``.  It monitors its preemptive view:
+
+* when more resources are available than it currently holds, it grows its
+  preemptible request and spawns tasks on the new nodes;
+* when the RMS asks it to release resources *immediately* (the view at the
+  current time drops below what it holds), it kills tasks -- the work done so
+  far on them is lost and counted as **waste**;
+* when the view announces that resources will disappear in the *future*
+  (announced updates), it stops recycling nodes whose next task could not
+  finish in time and releases them when their current task completes -- no
+  waste occurs.
+
+The PSA never finishes by itself; experiments call :meth:`shutdown` when the
+evolving application completes.
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from ..core.request import Request
+from ..core.types import ClusterId, NodeId, RelatedHow, RequestType, Time
+from .base import BaseApplication
+
+__all__ = ["ParameterSweepApplication", "PsaStatistics"]
+
+
+@dataclass
+class PsaStatistics:
+    """Aggregate outcome of a PSA run."""
+
+    completed_tasks: int = 0
+    killed_tasks: int = 0
+    completed_node_seconds: float = 0.0
+    waste_node_seconds: float = 0.0
+
+    @property
+    def total_busy_node_seconds(self) -> float:
+        return self.completed_node_seconds + self.waste_node_seconds
+
+
+class ParameterSweepApplication(BaseApplication):
+    """A malleable application made of infinite single-node tasks."""
+
+    def __init__(
+        self,
+        name: str,
+        task_duration: Time,
+        cluster_id: ClusterId = "cluster0",
+    ):
+        super().__init__(name, cluster_id)
+        if task_duration <= 0:
+            raise ValueError("task_duration must be positive")
+        self.task_duration = float(task_duration)
+        self.stats = PsaStatistics()
+
+        #: Node id -> start time of the task currently running on it.
+        self._running_tasks: Dict[NodeId, Time] = {}
+        #: Node id -> completion event handle (to cancel on kill).
+        self._task_events: Dict[NodeId, object] = {}
+        #: Nodes held but currently idle (no task running).
+        self._idle_nodes: Set[NodeId] = set()
+        self.current_request: Optional[Request] = None
+        self._flush_pending = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def held_nodes(self) -> Set[NodeId]:
+        """Every node currently held (busy or idle)."""
+        return set(self._running_tasks) | set(self._idle_nodes)
+
+    def busy_count(self) -> int:
+        return len(self._running_tasks)
+
+    @property
+    def waste_node_seconds(self) -> float:
+        return self.stats.waste_node_seconds
+
+    # ------------------------------------------------------------------ #
+    # Protocol callbacks
+    # ------------------------------------------------------------------ #
+    def on_views(self, non_preemptive, preemptive) -> None:
+        super().on_views(non_preemptive, preemptive)
+        self._schedule_flush()
+
+    def on_start(self, request: Request, node_ids: FrozenSet[NodeId]) -> None:
+        if request.rtype is not RequestType.PREEMPTIBLE:
+            return
+        self.current_request = request
+        for nid in node_ids:
+            if nid not in self._running_tasks:
+                self._idle_nodes.add(nid)
+        self._schedule_flush()
+
+    def on_killed(self, reason: str) -> None:
+        super().on_killed(reason)
+        for nid, start in list(self._running_tasks.items()):
+            self._abort_task(nid, count_waste=True)
+
+    # ------------------------------------------------------------------ #
+    # Reconciliation: one pass that applies all pending decisions
+    # ------------------------------------------------------------------ #
+    def _schedule_flush(self) -> None:
+        """Coalesce reactions within one simulated instant."""
+        if self._flush_pending or self.rms is None or self.killed or self.finished():
+            return
+        self._flush_pending = True
+        self.rms.simulator.schedule(0.0, self._reconcile)
+
+    def _reconcile(self) -> None:
+        self._flush_pending = False
+        if self.killed or self.finished() or self.rms is None:
+            return
+
+        allowed_now = self.preemptive_available_now()
+        allowed_window = self.preemptive_available_min(self.task_duration)
+        held = self.held_nodes()
+
+        # 1. Mandatory release: the view at the current time is below what we
+        #    hold, so nodes must be given back immediately (killing tasks).
+        if len(held) > allowed_now:
+            overshoot = len(held) - allowed_now
+            victims = self._pick_release_victims(overshoot)
+            for nid in victims:
+                if nid in self._running_tasks:
+                    self._abort_task(nid, count_waste=True)
+                self._idle_nodes.discard(nid)
+            self._resize_request(len(self.held_nodes()), released=victims)
+            held = self.held_nodes()
+
+        if self._stopped:
+            # Shutting down: release idle nodes, let running tasks finish.
+            idle = sorted(self._idle_nodes)
+            if idle:
+                self._idle_nodes.clear()
+                self._resize_request(len(self.held_nodes()), released=idle)
+            if not self._running_tasks:
+                self._terminate()
+            return
+
+        # 2. Start tasks on idle nodes, but only on as many nodes as the view
+        #    sustains for a whole task duration; release the rest gracefully.
+        busy = self.busy_count()
+        sustainable = max(0, allowed_window)
+        can_start = max(0, min(len(self._idle_nodes), sustainable - busy))
+        idle_sorted = sorted(self._idle_nodes)
+        for nid in idle_sorted[:can_start]:
+            self._start_task(nid)
+        to_release = idle_sorted[can_start:]
+        if to_release:
+            for nid in to_release:
+                self._idle_nodes.discard(nid)
+            self._resize_request(len(self.held_nodes()), released=to_release)
+
+        # 3. Growth: ask for more nodes when the view offers more than we
+        #    hold *and* they would be usable for at least one task.
+        held_count = len(self.held_nodes())
+        desired = min(allowed_now, max(allowed_window, held_count))
+        if desired > held_count:
+            self._resize_request(desired)
+
+    # ------------------------------------------------------------------ #
+    # Task lifecycle
+    # ------------------------------------------------------------------ #
+    def _start_task(self, node_id: NodeId) -> None:
+        self._idle_nodes.discard(node_id)
+        self._running_tasks[node_id] = self.now
+        handle = self.rms.simulator.schedule(self.task_duration, self._task_finished, node_id)
+        self._task_events[node_id] = handle
+
+    def _task_finished(self, node_id: NodeId) -> None:
+        if node_id not in self._running_tasks or self.killed or self.finished():
+            return
+        del self._running_tasks[node_id]
+        self._task_events.pop(node_id, None)
+        self.stats.completed_tasks += 1
+        self.stats.completed_node_seconds += self.task_duration
+        self._idle_nodes.add(node_id)
+        self._schedule_flush()
+
+    def _abort_task(self, node_id: NodeId, count_waste: bool) -> None:
+        start = self._running_tasks.pop(node_id, None)
+        handle = self._task_events.pop(node_id, None)
+        if handle is not None:
+            handle.cancel()
+        if start is not None and count_waste:
+            self.stats.killed_tasks += 1
+            self.stats.waste_node_seconds += max(0.0, self.now - start)
+
+    def _pick_release_victims(self, count: int) -> List[NodeId]:
+        """Choose which nodes to give back: idle ones first, then the tasks
+        with the least elapsed work (minimising the waste)."""
+        victims: List[NodeId] = sorted(self._idle_nodes)[:count]
+        remaining = count - len(victims)
+        if remaining > 0:
+            by_elapsed = sorted(
+                self._running_tasks.items(), key=lambda item: self.now - item[1]
+            )
+            victims.extend(nid for nid, _ in by_elapsed[:remaining])
+        return victims
+
+    # ------------------------------------------------------------------ #
+    # Request management
+    # ------------------------------------------------------------------ #
+    def _resize_request(self, node_count: int, released: Optional[List[NodeId]] = None) -> None:
+        """Grow or shrink the preemptible request to *node_count* nodes."""
+        node_count = max(0, int(node_count))
+        if self.current_request is None or self.current_request.finished():
+            if node_count > 0:
+                self.current_request = self.submit(
+                    node_count=node_count,
+                    duration=math.inf,
+                    rtype=RequestType.PREEMPTIBLE,
+                )
+            return
+        if not self.current_request.started():
+            # The previous resize has not been served yet; replace it while
+            # keeping the NEXT chain intact so nodes retained by finished
+            # predecessors are carried over (or explicitly released).
+            if self.current_request.node_count == node_count and not released:
+                return
+            old = self.current_request
+            self.current_request = self.submit(
+                node_count=node_count,
+                duration=math.inf,
+                rtype=RequestType.PREEMPTIBLE,
+                related_how=RelatedHow.NEXT,
+                related_to=old,
+            )
+            self.done(old, released)
+            return
+        if node_count == len(self.current_request.node_ids) and not released:
+            return
+        self.current_request = self.spontaneous_update(
+            self.current_request, node_count, released_node_ids=released
+        )
+
+    # ------------------------------------------------------------------ #
+    # Shutdown
+    # ------------------------------------------------------------------ #
+    def shutdown(self) -> None:
+        """Stop taking new work; finish running tasks, then disconnect."""
+        if self._stopped or self.finished() or self.killed:
+            return
+        self._stopped = True
+        self._schedule_flush()
+
+    def shutdown_now(self) -> None:
+        """Stop immediately: abort running tasks (not counted as waste)."""
+        self._stopped = True
+        for nid in list(self._running_tasks):
+            self._abort_task(nid, count_waste=False)
+        self._terminate()
+
+    def _terminate(self) -> None:
+        if self.finished():
+            return
+        if self.current_request is not None and not self.current_request.finished():
+            self.done(self.current_request)
+        self.current_request = None
+        self.finish()

@@ -1,0 +1,21 @@
+"""Baselines the paper compares against: static allocation, strict
+equi-partitioning and a rigid-only FCFS+CBF batch scheduler."""
+from .batch_fcfs import BatchJobOutcome, BatchSchedulerBaseline, peak_static_job
+from .static_rms import StaticRunPrediction, make_static_amr, predict_static_run
+from .strict_equipartition import (
+    make_filling_rms,
+    make_rms,
+    make_strict_equipartition_rms,
+)
+
+__all__ = [
+    "BatchJobOutcome",
+    "BatchSchedulerBaseline",
+    "peak_static_job",
+    "StaticRunPrediction",
+    "make_static_amr",
+    "predict_static_run",
+    "make_rms",
+    "make_filling_rms",
+    "make_strict_equipartition_rms",
+]

@@ -1,0 +1,136 @@
+"""A homogeneous, space-shared cluster with explicit node-ID bookkeeping.
+
+The scheduler reasons about node *counts*; this module tracks node
+*identities*, which the RMS needs when it actually starts a request
+(``startNotify`` carries node IDs) and when ``NEXT``-constrained requests
+inherit the nodes of their predecessor.
+"""
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from ..core.errors import AllocationError
+from ..core.types import ClusterId, NodeId, Time
+from .node import Node, NodeState
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A named collection of identical nodes."""
+
+    def __init__(self, cluster_id: ClusterId, node_count: int):
+        if node_count <= 0:
+            raise AllocationError("a cluster needs a positive node count")
+        self.cluster_id = cluster_id
+        self.nodes: Dict[NodeId, Node] = {
+            i: Node(node_id=i, cluster_id=cluster_id) for i in range(node_count)
+        }
+
+    # ------------------------------------------------------------------ #
+    @property
+    def node_count(self) -> int:
+        """Total number of nodes, regardless of state."""
+        return len(self.nodes)
+
+    def free_nodes(self) -> List[NodeId]:
+        """IDs of nodes currently free (lowest IDs first, deterministic)."""
+        return sorted(nid for nid, node in self.nodes.items() if node.is_free())
+
+    def free_count(self) -> int:
+        return len(self.free_nodes())
+
+    def allocated_count(self) -> int:
+        return sum(1 for n in self.nodes.values() if n.state is NodeState.ALLOCATED)
+
+    def allocated_to(self, app_id: str) -> List[NodeId]:
+        """IDs of nodes currently held by *app_id*."""
+        return sorted(
+            nid
+            for nid, node in self.nodes.items()
+            if node.state is NodeState.ALLOCATED and node.owner_app == app_id
+        )
+
+    # ------------------------------------------------------------------ #
+    def allocate(
+        self,
+        count: int,
+        app_id: str,
+        request_id: int,
+        now: Time,
+        preferred: Optional[Iterable[NodeId]] = None,
+    ) -> FrozenSet[NodeId]:
+        """Allocate *count* nodes and return their IDs.
+
+        Nodes listed in *preferred* (e.g. nodes carried over from a ``NEXT``
+        predecessor) are used first if they are free; the remainder is taken
+        from the lowest free IDs.  Raises :class:`AllocationError` if fewer
+        than *count* nodes are free.
+        """
+        if count < 0:
+            raise AllocationError("cannot allocate a negative node count")
+        chosen: List[NodeId] = []
+        if preferred:
+            for nid in preferred:
+                node = self.nodes.get(nid)
+                if node is not None and node.is_free() and len(chosen) < count:
+                    chosen.append(nid)
+        for nid in self.free_nodes():
+            if len(chosen) >= count:
+                break
+            if nid not in chosen:
+                chosen.append(nid)
+        if len(chosen) < count:
+            raise AllocationError(
+                f"cluster {self.cluster_id!r}: requested {count} nodes, "
+                f"only {self.free_count()} free"
+            )
+        for nid in chosen:
+            self.nodes[nid].allocate(app_id, request_id, now)
+        return frozenset(chosen)
+
+    def release(self, node_ids: Iterable[NodeId], now: Time) -> None:
+        """Release the listed nodes back to the free pool."""
+        for nid in node_ids:
+            node = self.nodes.get(nid)
+            if node is None:
+                raise AllocationError(f"unknown node id {nid} on {self.cluster_id!r}")
+            node.release(now)
+
+    def release_all_of(self, app_id: str, now: Time) -> FrozenSet[NodeId]:
+        """Release every node held by *app_id* (used when killing a session)."""
+        held = self.allocated_to(app_id)
+        self.release(held, now)
+        return frozenset(held)
+
+    def transfer(self, node_ids: Iterable[NodeId], app_id: str, request_id: int, now: Time) -> None:
+        """Re-label allocated nodes to a new request of the same application.
+
+        Used by ``NEXT`` constraints, where node IDs are carried over from the
+        finished request to its successor without ever becoming free.
+        """
+        for nid in node_ids:
+            node = self.nodes.get(nid)
+            if node is None:
+                raise AllocationError(f"unknown node id {nid} on {self.cluster_id!r}")
+            if node.state is not NodeState.ALLOCATED or node.owner_app != app_id:
+                raise AllocationError(
+                    f"node {nid} is not held by application {app_id!r}"
+                )
+            node.owner_request = request_id
+
+    # ------------------------------------------------------------------ #
+    def busy_node_seconds(self, now: Time) -> float:
+        """Total node-seconds of allocation accumulated so far."""
+        total = 0.0
+        for node in self.nodes.values():
+            total += node.busy_seconds
+            if node.state is NodeState.ALLOCATED and now > node.last_transition:
+                total += now - node.last_transition
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster({self.cluster_id!r}, {self.node_count} nodes, "
+            f"{self.free_count()} free)"
+        )

@@ -1,0 +1,141 @@
+"""Resource accounting (the first "future work" direction of the paper).
+
+Section 7 suggests studying "how accounting should be done in CooRMv2, so as
+to determine users to efficiently use resources".  This module implements a
+straightforward policy: every allocation interval is recorded, and consumed
+node-seconds are charged per application, split by request type.  Because
+pre-allocations reserve resources without using them, the accountant can also
+charge a configurable fraction of *reserved-but-unused* node-seconds, which is
+the economic incentive the paper hints at.
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .types import RequestType, Time
+
+__all__ = ["AllocationRecord", "UsageSummary", "Accountant"]
+
+
+@dataclass(frozen=True)
+class AllocationRecord:
+    """One contiguous interval during which a request held nodes."""
+
+    app_id: str
+    request_id: int
+    rtype: RequestType
+    cluster_id: str
+    node_count: int
+    start: Time
+    end: Time
+
+    @property
+    def node_seconds(self) -> float:
+        return self.node_count * max(0.0, self.end - self.start)
+
+
+@dataclass
+class UsageSummary:
+    """Aggregated consumption of one application."""
+
+    app_id: str
+    non_preemptible_node_seconds: float = 0.0
+    preemptible_node_seconds: float = 0.0
+    preallocated_node_seconds: float = 0.0
+
+    @property
+    def used_node_seconds(self) -> float:
+        """Node-seconds actually allocated (excludes pre-allocations)."""
+        return self.non_preemptible_node_seconds + self.preemptible_node_seconds
+
+    @property
+    def reserved_unused_node_seconds(self) -> float:
+        """Pre-allocated node-seconds that were never filled by this application."""
+        return max(0.0, self.preallocated_node_seconds - self.non_preemptible_node_seconds)
+
+
+class Accountant:
+    """Collects allocation records and produces per-application charges."""
+
+    def __init__(self, reservation_charge_factor: float = 0.0):
+        if not 0.0 <= reservation_charge_factor <= 1.0:
+            raise ValueError("reservation_charge_factor must be in [0, 1]")
+        #: Fraction of reserved-but-unused node-seconds charged to the user.
+        self.reservation_charge_factor = reservation_charge_factor
+        self.records: List[AllocationRecord] = []
+
+    # ------------------------------------------------------------------ #
+    def record(self, record: AllocationRecord) -> None:
+        """Append one allocation interval."""
+        if record.end < record.start:
+            raise ValueError("allocation record ends before it starts")
+        self.records.append(record)
+
+    def record_interval(
+        self,
+        app_id: str,
+        request_id: int,
+        rtype: RequestType,
+        cluster_id: str,
+        node_count: int,
+        start: Time,
+        end: Time,
+    ) -> None:
+        """Convenience wrapper building and appending a record."""
+        self.record(
+            AllocationRecord(
+                app_id=app_id,
+                request_id=request_id,
+                rtype=rtype,
+                cluster_id=cluster_id,
+                node_count=node_count,
+                start=start,
+                end=end,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    def summary(self, app_id: str) -> UsageSummary:
+        """Aggregate the records of one application."""
+        out = UsageSummary(app_id=app_id)
+        for rec in self.records:
+            if rec.app_id != app_id:
+                continue
+            if rec.rtype is RequestType.NON_PREEMPTIBLE:
+                out.non_preemptible_node_seconds += rec.node_seconds
+            elif rec.rtype is RequestType.PREEMPTIBLE:
+                out.preemptible_node_seconds += rec.node_seconds
+            else:
+                out.preallocated_node_seconds += rec.node_seconds
+        return out
+
+    def summaries(self) -> Dict[str, UsageSummary]:
+        """Aggregate records for every application seen."""
+        apps = sorted({rec.app_id for rec in self.records})
+        return {app_id: self.summary(app_id) for app_id in apps}
+
+    def charge(self, app_id: str) -> float:
+        """Node-seconds billed to *app_id*.
+
+        Used node-seconds are billed fully; reserved-but-unused node-seconds
+        are billed at ``reservation_charge_factor``.
+        """
+        s = self.summary(app_id)
+        return s.used_node_seconds + self.reservation_charge_factor * s.reserved_unused_node_seconds
+
+    def total_used_node_seconds(self) -> float:
+        """Node-seconds allocated across all applications (no pre-allocations)."""
+        return sum(
+            rec.node_seconds
+            for rec in self.records
+            if rec.rtype is not RequestType.PREALLOCATION
+        )
+
+    def used_node_seconds_by_type(self) -> Dict[RequestType, float]:
+        """Total node-seconds per request type."""
+        out: Dict[RequestType, float] = {t: 0.0 for t in RequestType}
+        for rec in self.records:
+            out[rec.rtype] += rec.node_seconds
+        return out

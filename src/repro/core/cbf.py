@@ -1,0 +1,138 @@
+"""Conservative Back-Filling (CBF) on availability profiles.
+
+The paper schedules pre-allocation requests with Conservative Back-Filling
+(Mu'alem & Feitelson, 2001): jobs are considered in arrival order, each one
+gets a reservation at the earliest hole of the availability profile, and the
+profile is updated immediately so later jobs can only use what earlier jobs
+left free -- they may *backfill* into earlier holes, but can never delay an
+existing reservation.
+
+In the CooRMv2 scheduler this behaviour is emergent (applications are
+processed in arrival order and each ``fit`` consumes the availability view).
+This module provides a standalone CBF queue used by the rigid-job baseline
+(:mod:`repro.baselines.batch_fcfs`) and by tests that validate the emergent
+behaviour against the classical algorithm.
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .errors import CapacityError
+from .profile import StepFunction
+from .types import Time
+
+__all__ = ["CbfJob", "ConservativeBackfillQueue"]
+
+
+@dataclass
+class CbfJob:
+    """A rigid job handled by the CBF queue."""
+
+    job_id: str
+    node_count: int
+    duration: Time
+    submit_time: Time = 0.0
+    #: Reservation computed by the queue (None until scheduled).
+    start_time: Optional[Time] = None
+
+    @property
+    def end_time(self) -> Optional[Time]:
+        if self.start_time is None:
+            return None
+        return self.start_time + self.duration
+
+    def wait_time(self) -> Optional[Time]:
+        if self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+
+class ConservativeBackfillQueue:
+    """Conservative back-filling scheduler for a single homogeneous cluster.
+
+    Every submitted job immediately receives a reservation; the availability
+    profile is decremented accordingly so that subsequent jobs can backfill
+    into remaining holes without delaying anyone.
+    """
+
+    def __init__(self, node_count: int):
+        if node_count <= 0:
+            raise CapacityError("a cluster needs at least one node")
+        self.node_count = int(node_count)
+        self._availability = StepFunction.constant(self.node_count)
+        self._jobs: List[CbfJob] = []
+
+    @property
+    def availability(self) -> StepFunction:
+        """Current availability profile (after all reservations)."""
+        return self._availability
+
+    @property
+    def jobs(self) -> Tuple[CbfJob, ...]:
+        return tuple(self._jobs)
+
+    def submit(self, job: CbfJob) -> Time:
+        """Reserve resources for *job* and return its start time.
+
+        Raises :class:`CapacityError` if the job can never fit (more nodes
+        than the cluster has).
+        """
+        if job.node_count > self.node_count:
+            raise CapacityError(
+                f"job {job.job_id!r} requests {job.node_count} nodes but the "
+                f"cluster only has {self.node_count}"
+            )
+        start = self._availability.find_hole(job.node_count, job.duration, job.submit_time)
+        if math.isinf(start):
+            raise CapacityError(f"job {job.job_id!r} cannot be scheduled")
+        job.start_time = start
+        if job.node_count > 0 and job.duration > 0:
+            self._availability = self._availability.subtract_rectangle(
+                start, job.duration, job.node_count
+            )
+        self._jobs.append(job)
+        return start
+
+    def submit_many(self, jobs: List[CbfJob]) -> List[Time]:
+        """Submit several jobs in order; returns their start times."""
+        return [self.submit(j) for j in jobs]
+
+    def complete_early(self, job: CbfJob, now: Time) -> None:
+        """Release the tail of a reservation when a job finishes early.
+
+        The freed rectangle (from *now* to the job's reserved end) is added
+        back to the availability profile so later submissions can backfill
+        into it; existing reservations are untouched, as CBF requires.
+        """
+        if job.start_time is None or job not in self._jobs:
+            raise CapacityError(f"job {job.job_id!r} has no reservation")
+        reserved_end = job.start_time + job.duration
+        release_from = max(now, job.start_time)
+        if release_from < reserved_end and job.node_count > 0:
+            self._availability = self._availability.add_rectangle(
+                release_from, reserved_end - release_from, job.node_count
+            )
+        job.duration = max(0.0, release_from - job.start_time)
+
+    # ------------------------------------------------------------------ #
+    # Metrics
+    # ------------------------------------------------------------------ #
+    def makespan(self) -> Time:
+        """Completion time of the last scheduled job."""
+        ends = [j.end_time for j in self._jobs if j.end_time is not None]
+        return max(ends) if ends else 0.0
+
+    def mean_wait_time(self) -> float:
+        """Average waiting time over all scheduled jobs."""
+        waits = [j.wait_time() for j in self._jobs if j.wait_time() is not None]
+        return sum(waits) / len(waits) if waits else 0.0
+
+    def utilisation(self) -> float:
+        """Fraction of node-seconds used until the makespan."""
+        horizon = self.makespan()
+        if horizon <= 0:
+            return 0.0
+        used = sum(j.node_count * min(j.duration, horizon - j.start_time) for j in self._jobs)
+        return used / (self.node_count * horizon)

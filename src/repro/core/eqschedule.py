@@ -1,0 +1,210 @@
+"""``eqSchedule()`` -- equi-partitioning of preemptible resources (Algorithm 3).
+
+The resources left after serving pre-allocations and non-preemptible requests
+are shared among the preemptible requests of all applications.  The policy is
+*equi-partitioning with filling*:
+
+* when the system is congested (the applications together ask for more than
+  is available), every active application receives a max-min-fair share of
+  the capacity, and inactive applications are shown the share they would get
+  if they became active;
+* when the system is not congested, every application is shown whatever the
+  other applications leave unused -- but never less than its equal partition
+  -- which is what lets a second Parameter-Sweep Application fill the "holes"
+  left by the first one (paper Section 5.4).
+
+A *strict* mode disables the filling and always shows exactly the equal
+partition; it implements the "strict equi-partitioning" baseline of Figure 11.
+"""
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from .fit import fit
+from .profile import StepFunction
+from .request_set import RequestSet
+from .toview import to_view
+from .types import ClusterId, Time
+from .view import View
+
+__all__ = ["eq_schedule", "max_min_fair"]
+
+
+def max_min_fair(demands: Sequence[int], capacity: int) -> List[int]:
+    """Max-min fair integer allocation of *capacity* among *demands*.
+
+    Classic water-filling: the capacity is repeatedly divided equally among
+    the applications whose demand is not yet satisfied.  Allocations never
+    exceed the demand and their sum never exceeds the capacity.
+    """
+    n = len(demands)
+    alloc = [0] * n
+    remaining = int(capacity)
+    unsatisfied = [i for i in range(n) if demands[i] > 0]
+    while remaining > 0 and unsatisfied:
+        share = max(remaining // len(unsatisfied), 1)
+        progressed = False
+        for i in list(unsatisfied):
+            if remaining <= 0:
+                break
+            grant = min(share, demands[i] - alloc[i], remaining)
+            if grant > 0:
+                alloc[i] += grant
+                remaining -= grant
+                progressed = True
+            if alloc[i] >= demands[i]:
+                unsatisfied.remove(i)
+        if not progressed:
+            break
+    return alloc
+
+
+def _interval_breakpoints(profiles: Sequence[StepFunction], horizon: Time) -> List[Time]:
+    """Sorted union of the profiles' breakpoints, clipped to [0, horizon]."""
+    points = {0.0}
+    for p in profiles:
+        for t in p.times:
+            if 0.0 <= t < horizon:
+                points.add(float(t))
+    return sorted(points)
+
+
+def _partition_interval(
+    demands: List[int], capacity: int, strict: bool
+) -> List[int]:
+    """Compute the per-application view values for one constant interval.
+
+    Returns the node count each application should see in its preemptive
+    view during the interval (Algorithm 3, lines 8-25).
+    """
+    n_apps = len(demands)
+    if n_apps == 0:
+        return []
+    active = [i for i in range(n_apps) if demands[i] > 0]
+    n_active = len(active)
+
+    if strict:
+        # Strict equi-partitioning: everyone is shown an equal slice of the
+        # capacity, regardless of what the others actually use.
+        share = capacity // n_apps if n_apps else 0
+        return [share] * n_apps
+
+    total_demand = sum(demands)
+    views = [0] * n_apps
+
+    if total_demand > capacity:
+        # Congested: active applications receive a max-min-fair share of the
+        # capacity, but the view never shows less than the equal partition
+        # (the paper's loop hands every application one equal slice before
+        # redistributing what small applications do not use).  Inactive
+        # applications are shown the partition they would get if they became
+        # active.
+        fair = max_min_fair(demands, capacity)
+        active_share = capacity // n_active if n_active else 0
+        inactive_share = capacity // (n_active + 1)
+        for i in range(n_apps):
+            if demands[i] > 0:
+                views[i] = max(fair[i], active_share)
+            else:
+                views[i] = inactive_share
+    else:
+        # Not congested: show each application what the others leave free,
+        # but never less than its equal partition.
+        for i in range(n_apps):
+            leftover = capacity - (total_demand - demands[i])
+            partitions = n_active if demands[i] > 0 else n_active + 1
+            partitions = max(partitions, 1)
+            equal_share = capacity // partitions
+            views[i] = max(leftover, equal_share)
+    return views
+
+
+def eq_schedule(
+    preemptible_sets: Mapping[str, RequestSet],
+    available: View,
+    not_before: Time,
+    horizon: Time = None,
+    strict: bool = False,
+) -> Dict[str, View]:
+    """Equi-partition *available* among the applications' preemptible requests.
+
+    Parameters
+    ----------
+    preemptible_sets:
+        Mapping of application id to its preemptible :class:`RequestSet`
+        (``R_P^{(i)}`` in the paper), in application arrival order.
+    available:
+        View of the resources available for preemptible scheduling (``V_in``).
+    not_before:
+        Non-started requests are scheduled no earlier than this time.
+    horizon:
+        Time horizon used to discretise the profiles.  Defaults to the last
+        breakpoint of all involved profiles plus one day, which is always
+        sufficient because profiles are constant beyond their last breakpoint.
+    strict:
+        Enable the strict equi-partitioning baseline (no filling).
+
+    Returns
+    -------
+    dict
+        Application id -> preemptive view ``V_P^{(i)}``.
+    """
+    app_ids = list(preemptible_sets.keys())
+
+    # Step 1: preliminary occupation views (Algorithm 3, lines 1-3).
+    occupation: Dict[str, View] = {}
+    for app_id in app_ids:
+        requests = preemptible_sets[app_id]
+        fixed_occ = to_view(requests, available)
+        pending_occ = fit(requests, available - fixed_occ, not_before)
+        occupation[app_id] = fixed_occ + pending_occ
+
+    clusters = set(available.clusters())
+    for occ in occupation.values():
+        clusters.update(occ.clusters())
+
+    if horizon is None:
+        last = 0.0
+        for profile in [available[c] for c in clusters] + [
+            occ[c] for occ in occupation.values() for c in clusters
+        ]:
+            if profile.times:
+                last = max(last, profile.times[-1])
+        horizon = last + 86_400.0
+
+    # Step 2: per-cluster, per-interval partitioning (lines 4-27).  The value
+    # computed for the last interval extends to infinity (profiles are
+    # constant beyond their last breakpoint, so so is the partition).
+    per_app_caps: Dict[str, Dict[ClusterId, StepFunction]] = {a: {} for a in app_ids}
+    for cid in sorted(clusters):
+        profiles = [available[cid]] + [occupation[a][cid] for a in app_ids]
+        breakpoints = _interval_breakpoints(profiles, horizon)
+        per_app_values: Dict[str, List[float]] = {a: [] for a in app_ids}
+        for t in breakpoints:
+            capacity = int(math.floor(available[cid].value_at(t) + 1e-9))
+            capacity = max(capacity, 0)
+            demands = [
+                int(math.ceil(occupation[a][cid].value_at(t) - 1e-9)) for a in app_ids
+            ]
+            values = _partition_interval(demands, capacity, strict)
+            for a, v in zip(app_ids, values):
+                per_app_values[a].append(float(v))
+        for a in app_ids:
+            if per_app_values[a]:
+                per_app_caps[a][cid] = StepFunction(breakpoints, per_app_values[a])
+
+    result: Dict[str, View] = {}
+    for app_id in app_ids:
+        result[app_id] = View(per_app_caps[app_id])
+
+    # Step 3: reschedule the requests against their own views so that
+    # scheduled_at and n_alloc reflect what each application will really get
+    # (Algorithm 3, lines 28-30).
+    for app_id in app_ids:
+        requests = preemptible_sets[app_id]
+        own_view = result[app_id]
+        fixed_occ = to_view(requests, own_view)
+        fit(requests, own_view - fixed_occ, not_before)
+
+    return result

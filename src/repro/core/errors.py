@@ -1,0 +1,61 @@
+"""Exception hierarchy of the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything coming out of the RMS with a single ``except`` clause.
+"""
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class ProfileError(ReproError):
+    """An invalid operation on a step-function availability profile."""
+
+
+class ViewError(ReproError):
+    """An invalid operation on a view (collection of per-cluster profiles)."""
+
+
+class RequestError(ReproError):
+    """An invalid request (bad node count, duration, constraint, ...)."""
+
+
+class ConstraintError(RequestError):
+    """A request constraint refers to a missing or incompatible request."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler reached an inconsistent state."""
+
+
+class CapacityError(SchedulingError):
+    """A request can never be satisfied with the configured resources."""
+
+
+class ProtocolError(ReproError):
+    """An application violated the CooRMv2 RMS-application protocol.
+
+    The paper mandates that such applications be killed (Section 3.1.4).
+    """
+
+
+class SessionError(ReproError):
+    """Operation on an unknown, closed or killed application session."""
+
+
+class AllocationError(ReproError):
+    """Node-ID bookkeeping failed (double allocation, unknown node, ...)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation engine reached an invalid state."""
+
+
+class WorkloadError(ReproError):
+    """A workload description or trace file is malformed."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was configured inconsistently."""

@@ -1,0 +1,376 @@
+"""Step-function Cluster Availability Profiles (CAPs).
+
+The paper (Sections 3.1.4 and A.3) represents resource availability as a step
+function: the x-axis is absolute time, the y-axis is a node count.  Views are
+per-cluster collections of such profiles and every scheduling primitive of
+CooRMv2 (``toView``, ``fit``, ``eqSchedule``, Conservative Back-Filling)
+manipulates them.
+
+This module provides :class:`StepFunction`, an immutable-by-convention
+piecewise-constant function on ``[0, +inf)`` with the algebra the paper
+requires:
+
+* point evaluation (``cap(t)`` in the paper),
+* ``+``, ``-``, pointwise ``max`` (the paper's union) and ``min``,
+* clipping at zero,
+* minimum over a time window,
+* ``find_hole`` -- earliest time a rectangle of ``n`` nodes x ``duration``
+  seconds fits below the profile,
+* rectangle addition / subtraction,
+* integration (node-seconds) over a window.
+
+The representation is a compact list of breakpoints: ``times[i]`` is the start
+of segment ``i`` and ``values[i]`` its constant value; the last segment
+extends to ``+inf``.  ``times[0]`` is always ``0.0``.
+"""
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from .errors import ProfileError
+from .types import Time
+
+__all__ = ["StepFunction"]
+
+_EPS = 1e-9
+
+
+def _merge_breakpoints(a: "StepFunction", b: "StepFunction") -> List[Time]:
+    """Return the sorted union of the breakpoints of two profiles."""
+    times: List[Time] = []
+    ia = ib = 0
+    ta, tb = a._times, b._times
+    while ia < len(ta) or ib < len(tb):
+        if ib >= len(tb) or (ia < len(ta) and ta[ia] <= tb[ib]):
+            t = ta[ia]
+            ia += 1
+        else:
+            t = tb[ib]
+            ib += 1
+        if not times or t > times[-1]:
+            times.append(t)
+    return times
+
+
+class StepFunction:
+    """A right-continuous piecewise-constant function of time.
+
+    Values are numeric (node counts in almost all uses).  Instances should be
+    treated as immutable: all arithmetic returns new objects.
+
+    Parameters
+    ----------
+    times:
+        Segment start times.  Must be strictly increasing and start at 0.
+    values:
+        Segment values, same length as *times*.
+    """
+
+    __slots__ = ("_times", "_values")
+
+    def __init__(self, times: Sequence[Time] = (0.0,), values: Sequence[float] = (0.0,)):
+        times = [float(t) for t in times]
+        values = [float(v) for v in values]
+        if len(times) != len(values):
+            raise ProfileError("times and values must have the same length")
+        if not times:
+            times, values = [0.0], [0.0]
+        if times[0] != 0.0:
+            raise ProfileError("the first breakpoint must be at t=0")
+        for i in range(1, len(times)):
+            if times[i] <= times[i - 1]:
+                raise ProfileError("breakpoints must be strictly increasing")
+            if not math.isfinite(times[i]):
+                raise ProfileError("breakpoints must be finite")
+        self._times = times
+        self._values = values
+        self._compact()
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def constant(cls, value: float) -> "StepFunction":
+        """A profile equal to *value* everywhere."""
+        return cls([0.0], [float(value)])
+
+    @classmethod
+    def zero(cls) -> "StepFunction":
+        """The everywhere-zero profile."""
+        return cls.constant(0.0)
+
+    @classmethod
+    def from_duration_pairs(cls, pairs: Iterable[Tuple[Time, float]]) -> "StepFunction":
+        """Build a profile from the paper's ``[(duration, value), ...]`` form.
+
+        The profile takes the listed values for the listed durations starting
+        at ``t = 0`` and is 0 afterwards.  For example
+        ``[(3600, 4), (3600, 3)]`` means 4 nodes during the first hour, 3
+        during the second and none afterwards.
+        """
+        times: List[Time] = [0.0]
+        values: List[float] = []
+        t = 0.0
+        for duration, value in pairs:
+            if duration <= 0:
+                raise ProfileError("durations must be positive")
+            values.append(float(value))
+            t += float(duration)
+            times.append(t)
+        values.append(0.0)
+        return cls(times, values)
+
+    @classmethod
+    def rectangle(cls, start: Time, duration: Time, height: float) -> "StepFunction":
+        """A profile that is *height* on ``[start, start+duration)`` and 0 elsewhere."""
+        if duration < 0:
+            raise ProfileError("duration must be non-negative")
+        if start < 0:
+            raise ProfileError("start must be non-negative")
+        if duration == 0 or height == 0:
+            return cls.zero()
+        if math.isinf(duration):
+            if start == 0:
+                return cls.constant(height)
+            return cls([0.0, float(start)], [0.0, float(height)])
+        if start == 0:
+            return cls([0.0, float(duration)], [float(height), 0.0])
+        return cls([0.0, float(start), float(start + duration)], [0.0, float(height), 0.0])
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def times(self) -> Tuple[Time, ...]:
+        """Segment start times (read-only)."""
+        return tuple(self._times)
+
+    @property
+    def values(self) -> Tuple[float, ...]:
+        """Segment values (read-only)."""
+        return tuple(self._values)
+
+    def segments(self) -> Iterator[Tuple[Time, Time, float]]:
+        """Yield ``(start, end, value)`` triples; the last end is ``+inf``."""
+        for i, (t, v) in enumerate(zip(self._times, self._values)):
+            end = self._times[i + 1] if i + 1 < len(self._times) else math.inf
+            yield t, end, v
+
+    def breakpoints(self) -> Tuple[Time, ...]:
+        """Alias of :attr:`times`, matching scheduler terminology."""
+        return self.times
+
+    def is_zero(self) -> bool:
+        """True if the profile is 0 everywhere."""
+        return all(abs(v) < _EPS for v in self._values)
+
+    def is_non_negative(self) -> bool:
+        """True if the profile never goes below zero."""
+        return all(v >= -_EPS for v in self._values)
+
+    def max_value(self) -> float:
+        """The maximum value taken anywhere."""
+        return max(self._values)
+
+    def min_value(self) -> float:
+        """The minimum value taken anywhere."""
+        return min(self._values)
+
+    def _compact(self) -> None:
+        """Merge adjacent segments with equal values (in place, constructor only)."""
+        times: List[Time] = [self._times[0]]
+        values: List[float] = [self._values[0]]
+        for t, v in zip(self._times[1:], self._values[1:]):
+            if abs(v - values[-1]) < _EPS:
+                continue
+            times.append(t)
+            values.append(v)
+        self._times = times
+        self._values = values
+
+    # ------------------------------------------------------------------ #
+    # Point and window queries
+    # ------------------------------------------------------------------ #
+    def __call__(self, t: Time) -> float:
+        """Value at time *t* (the paper's ``cap(t)``)."""
+        return self.value_at(t)
+
+    def value_at(self, t: Time) -> float:
+        """Value at time *t*; times before 0 evaluate as 0."""
+        if t < 0:
+            return 0.0
+        # binary search for the last breakpoint <= t
+        lo, hi = 0, len(self._times) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._times[mid] <= t:
+                lo = mid
+            else:
+                hi = mid - 1
+        return self._values[lo]
+
+    def min_over(self, start: Time, end: Time) -> float:
+        """Minimum value over ``[start, end)``.
+
+        An empty window (``end <= start``) returns the value at *start*.
+        """
+        if end <= start:
+            return self.value_at(start)
+        best = self.value_at(start)
+        for t, v in zip(self._times, self._values):
+            if start < t < end:
+                best = min(best, v)
+        return best
+
+    def integrate(self, start: Time = 0.0, end: Time = math.inf) -> float:
+        """Integral (value x time, i.e. node-seconds) over ``[start, end)``.
+
+        Integrating to ``+inf`` is allowed only if the profile is eventually
+        zero; otherwise :class:`ProfileError` is raised.
+        """
+        if end <= start:
+            return 0.0
+        total = 0.0
+        for seg_start, seg_end, value in self.segments():
+            lo = max(seg_start, start)
+            hi = min(seg_end, end)
+            if hi <= lo:
+                continue
+            if math.isinf(hi):
+                if abs(value) < _EPS:
+                    continue
+                raise ProfileError("cannot integrate a non-zero profile to infinity")
+            total += value * (hi - lo)
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Algebra
+    # ------------------------------------------------------------------ #
+    def _combine(self, other: "StepFunction", op) -> "StepFunction":
+        times = _merge_breakpoints(self, other)
+        values = [op(self.value_at(t), other.value_at(t)) for t in times]
+        return StepFunction(times, values)
+
+    def __add__(self, other: "StepFunction") -> "StepFunction":
+        return self._combine(other, lambda a, b: a + b)
+
+    def __sub__(self, other: "StepFunction") -> "StepFunction":
+        return self._combine(other, lambda a, b: a - b)
+
+    def maximum(self, other: "StepFunction") -> "StepFunction":
+        """Pointwise maximum (the paper's view union)."""
+        return self._combine(other, max)
+
+    def minimum(self, other: "StepFunction") -> "StepFunction":
+        """Pointwise minimum."""
+        return self._combine(other, min)
+
+    def scale(self, factor: float) -> "StepFunction":
+        """Multiply every value by *factor*."""
+        return StepFunction(list(self._times), [v * factor for v in self._values])
+
+    def shift_value(self, delta: float) -> "StepFunction":
+        """Add the scalar *delta* to every value."""
+        return StepFunction(list(self._times), [v + delta for v in self._values])
+
+    def clip_low(self, floor: float = 0.0) -> "StepFunction":
+        """Clamp every value to be at least *floor*."""
+        return StepFunction(list(self._times), [max(v, floor) for v in self._values])
+
+    def clip_high(self, ceiling: float) -> "StepFunction":
+        """Clamp every value to be at most *ceiling*."""
+        return StepFunction(list(self._times), [min(v, ceiling) for v in self._values])
+
+    def add_rectangle(self, start: Time, duration: Time, height: float) -> "StepFunction":
+        """Return this profile plus a rectangle (used when placing a request)."""
+        if duration <= 0 or height == 0:
+            return StepFunction(list(self._times), list(self._values))
+        return self + StepFunction.rectangle(start, duration, height)
+
+    def subtract_rectangle(self, start: Time, duration: Time, height: float) -> "StepFunction":
+        """Return this profile minus a rectangle (used when consuming capacity)."""
+        return self.add_rectangle(start, duration, -height)
+
+    def floor(self) -> "StepFunction":
+        """Round every value down to the nearest integer."""
+        return StepFunction(list(self._times), [math.floor(v + _EPS) for v in self._values])
+
+    # ------------------------------------------------------------------ #
+    # Scheduling primitives
+    # ------------------------------------------------------------------ #
+    def find_hole(self, n: float, duration: Time, earliest: Time = 0.0) -> Time:
+        """Earliest ``t >= earliest`` such that the profile is >= *n* on
+        ``[t, t + duration)``.
+
+        This is the paper's ``findHole`` restricted to one cluster.  Returns
+        ``math.inf`` if no such time exists (the request "never" starts).
+        A zero-node or zero-duration request fits at *earliest* immediately.
+        """
+        if n <= 0 or duration <= 0:
+            return max(0.0, earliest)
+        earliest = max(0.0, earliest)
+        if math.isinf(duration):
+            # Need the profile to stay >= n forever starting at t.
+            candidates = [earliest] + [t for t in self._times if t > earliest]
+            for t in candidates:
+                idx = self._segment_index(t)
+                if all(v >= n - _EPS for v in self._values[idx:]):
+                    return t
+            return math.inf
+        candidates = [earliest] + [t for t in self._times if t > earliest]
+        for t in candidates:
+            if self.min_over(t, t + duration) >= n - _EPS:
+                return t
+        return math.inf
+
+    def _segment_index(self, t: Time) -> int:
+        lo, hi = 0, len(self._times) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._times[mid] <= t:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    def alloc_limit(self, start: Time, duration: Time, requested: float) -> float:
+        """How many nodes can be granted on ``[start, start+duration)``.
+
+        This is the paper's ``alloc`` on one cluster: the minimum of the
+        requested node count and the availability over the window.  Never
+        negative.
+        """
+        if duration <= 0:
+            return max(0.0, min(requested, self.value_at(start)))
+        available = self.min_over(start, start + duration)
+        return max(0.0, min(requested, available))
+
+    # ------------------------------------------------------------------ #
+    # Dunder glue
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StepFunction):
+            return NotImplemented
+        if len(self._times) != len(other._times):
+            return False
+        return all(
+            abs(t1 - t2) < _EPS and abs(v1 - v2) < _EPS
+            for t1, t2, v1, v2 in zip(self._times, other._times, self._values, other._values)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - profiles are not meant to be dict keys
+        return hash((tuple(self._times), tuple(self._values)))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"[{t:g}:{v:g}]" for t, v in zip(self._times, self._values))
+        return f"StepFunction({parts})"
+
+    def to_duration_pairs(self, horizon: Time) -> List[Tuple[Time, float]]:
+        """Export as the paper's ``[(duration, value), ...]`` form up to *horizon*."""
+        pairs: List[Tuple[Time, float]] = []
+        for start, end, value in self.segments():
+            if start >= horizon:
+                break
+            pairs.append((min(end, horizon) - start, value))
+        return pairs

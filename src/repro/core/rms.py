@@ -1,0 +1,532 @@
+"""The CooRMv2 Resource Management System.
+
+This is the server side of the protocol described in Sections 3.2 and 3.3 of
+the paper.  It owns the platform, keeps one :class:`~repro.core.session.Session`
+per connected application (in connection order), coalesces incoming
+``request()`` / ``done()`` messages through the administrator-chosen
+*re-scheduling interval*, runs the scheduling algorithm
+(:class:`~repro.core.scheduler.Scheduler`), starts requests by binding node
+IDs, pushes fresh views to the applications, and -- if so configured -- kills
+applications that violate the protocol by not releasing preemptible resources
+when asked to.
+
+The RMS is driven by a :class:`~repro.sim.Simulator`; in the paper's words,
+remote calls are replaced by direct function calls and ``sleep()`` by
+simulator events.
+"""
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Set
+
+from ..cluster.platform import Platform
+from .accounting import Accountant
+from .errors import ProtocolError, RequestError, SessionError
+from .events import (
+    Connected,
+    Disconnected,
+    EventLog,
+    RequestDone,
+    RequestExpired,
+    RequestStarted,
+    RequestSubmitted,
+    SessionKilled,
+    ViewsPushed,
+)
+from .request import Request
+from .scheduler import Scheduler
+from .session import ApplicationProtocol, Session
+from .types import NodeId, RelatedHow, RequestType, Time
+from .view import View
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
+    from ..sim.engine import EventHandle, Simulator
+
+__all__ = ["CooRMv2"]
+
+
+class CooRMv2:
+    """The CooRMv2 RMS server.
+
+    Parameters
+    ----------
+    platform:
+        The clusters managed by this RMS.
+    simulator:
+        Discrete-event engine that drives time.
+    rescheduling_interval:
+        Minimum delay between two scheduling passes; messages arriving in
+        between are coalesced (Section 3.2).  The evaluation uses 1 second.
+    strict_equipartition:
+        Use the strict equi-partitioning baseline for preemptible resources
+        instead of equi-partitioning with filling (Figure 11 comparison).
+    kill_protocol_violators:
+        Kill applications that keep preemptible resources beyond what their
+        preemptive view allows for longer than *violation_grace* seconds.
+    violation_grace:
+        Grace period before a protocol violation leads to a kill.
+    accountant:
+        Optional :class:`~repro.core.accounting.Accountant`; a fresh one is
+        created when omitted.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        simulator: Simulator,
+        rescheduling_interval: float = 1.0,
+        strict_equipartition: bool = False,
+        kill_protocol_violators: bool = False,
+        violation_grace: float = 30.0,
+        accountant: Optional[Accountant] = None,
+    ):
+        if rescheduling_interval < 0:
+            raise ValueError("rescheduling_interval must be non-negative")
+        self.platform = platform
+        self.simulator = simulator
+        self.rescheduling_interval = float(rescheduling_interval)
+        self.kill_protocol_violators = kill_protocol_violators
+        self.violation_grace = float(violation_grace)
+        self.scheduler = Scheduler(platform.capacity(), strict_equipartition)
+        self.accountant = accountant if accountant is not None else Accountant()
+        self.event_log = EventLog()
+
+        self.sessions: Dict[str, Session] = {}
+        self._app_counter = 0
+        self._schedule_handle: Optional[EventHandle] = None
+        self._last_schedule_time: Time = -math.inf
+        self._expiry_handles: Dict[int, EventHandle] = {}
+
+    # ------------------------------------------------------------------ #
+    # Time
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> Time:
+        """Current simulated time."""
+        return self.simulator.now
+
+    # ------------------------------------------------------------------ #
+    # Session management
+    # ------------------------------------------------------------------ #
+    def connect(self, application: ApplicationProtocol, app_id: Optional[str] = None) -> Session:
+        """Open a session for *application* and schedule a view push."""
+        if app_id is None:
+            self._app_counter += 1
+            app_id = f"app{self._app_counter}"
+        if app_id in self.sessions and self.sessions[app_id].alive:
+            raise SessionError(f"application {app_id!r} is already connected")
+        session = Session(app_id, application, self.now)
+        self.sessions[app_id] = session
+        self.event_log.record(Connected(self.now, app_id))
+        self._trigger_schedule()
+        return session
+
+    def disconnect(self, app_id: str) -> None:
+        """Close a session; every request is terminated and nodes released."""
+        session = self._session(app_id)
+        for request in session.requests.all_requests():
+            if not request.finished():
+                self._finish_request(session, request, released_node_ids=None, expired=False)
+        session.alive = False
+        self.event_log.record(Disconnected(self.now, app_id))
+        self._trigger_schedule()
+
+    def kill(self, app_id: str, reason: str) -> None:
+        """Terminate a session after a protocol violation (Section 3.1.4)."""
+        session = self._session(app_id)
+        for request in session.requests.all_requests():
+            if not request.finished():
+                request.mark_finished(self.now)
+                self._cancel_expiry(request)
+        released = self.platform.release_all_of(app_id, self.now)
+        for cid, nodes in released.items():
+            session.remove_nodes(cid, nodes)
+        session.kill(reason)
+        self.event_log.record(SessionKilled(self.now, app_id, reason=reason))
+        session.application.on_killed(reason)
+        self._trigger_schedule()
+
+    def _session(self, app_id: str) -> Session:
+        session = self.sessions.get(app_id)
+        if session is None:
+            raise SessionError(f"unknown application {app_id!r}")
+        if not session.alive:
+            raise SessionError(f"application {app_id!r} is no longer connected")
+        return session
+
+    def connected_sessions(self) -> List[Session]:
+        """Alive sessions in connection order."""
+        return [s for s in self.sessions.values() if s.alive]
+
+    # ------------------------------------------------------------------ #
+    # Protocol operations: request() and done()
+    # ------------------------------------------------------------------ #
+    def submit(self, app_id: str, request: Request) -> Request:
+        """The application's ``request()`` operation."""
+        session = self._session(app_id)
+        if request.cluster_id not in self.platform.clusters:
+            raise RequestError(f"unknown cluster {request.cluster_id!r}")
+        if request.node_count > self.platform.cluster(request.cluster_id).node_count:
+            raise RequestError(
+                f"request asks for {request.node_count} nodes but cluster "
+                f"{request.cluster_id!r} only has "
+                f"{self.platform.cluster(request.cluster_id).node_count}"
+            )
+        request.submitted_at = self.now
+        session.requests.add(request)
+        self.event_log.record(
+            RequestSubmitted(
+                self.now,
+                app_id,
+                request_id=request.request_id,
+                rtype=request.rtype.value,
+                node_count=request.node_count,
+                duration=request.duration,
+            )
+        )
+        self._trigger_schedule()
+        return request
+
+    def done(
+        self,
+        app_id: str,
+        request: Request,
+        released_node_ids: Optional[Iterable[NodeId]] = None,
+    ) -> None:
+        """The application's ``done()`` operation.
+
+        Terminates *request* immediately.  For ``NEXT``-constrained successors
+        the application may specify which node IDs it releases; the remaining
+        ones are carried over to the successor when it starts.
+        """
+        session = self._session(app_id)
+        if session.requests.find(request.request_id) is None:
+            raise RequestError(
+                f"request #{request.request_id} does not belong to {app_id!r}"
+            )
+        if request.finished():
+            return
+        self._finish_request(session, request, released_node_ids, expired=False)
+        self.event_log.record(
+            RequestDone(
+                self.now,
+                app_id,
+                request_id=request.request_id,
+                released_node_ids=tuple(sorted(released_node_ids)) if released_node_ids else (),
+            )
+        )
+        self._trigger_schedule()
+
+    # ------------------------------------------------------------------ #
+    # Request lifecycle internals
+    # ------------------------------------------------------------------ #
+    def _finish_request(
+        self,
+        session: Session,
+        request: Request,
+        released_node_ids: Optional[Iterable[NodeId]],
+        expired: bool,
+    ) -> None:
+        was_started = request.started()
+        nodes_used = request.node_count if request.is_preallocation() else len(request.node_ids)
+        request.mark_finished(self.now)
+        self._cancel_expiry(request)
+
+        if was_started and not request.is_preallocation():
+            held = set(request.node_ids)
+            successor = self._pending_next_child(session, request)
+            if released_node_ids is not None:
+                to_release = set(released_node_ids) & held
+            elif successor is not None:
+                # Keep everything for the successor unless told otherwise.
+                to_release = set()
+            else:
+                to_release = held
+            if to_release:
+                self.platform.release(request.cluster_id, to_release, self.now)
+                session.remove_nodes(request.cluster_id, frozenset(to_release))
+            request.node_ids = frozenset(held - to_release)
+        elif not was_started and released_node_ids is not None:
+            # The application releases nodes carried by the (finished)
+            # predecessors of a not-yet-started successor in an update chain.
+            to_release = set(released_node_ids)
+            for ancestor in self._next_chain_ancestors(request):
+                retained = set(ancestor.node_ids) & to_release
+                if retained:
+                    self.platform.release(request.cluster_id, retained, self.now)
+                    session.remove_nodes(request.cluster_id, frozenset(retained))
+                    ancestor.node_ids = frozenset(set(ancestor.node_ids) - retained)
+                    to_release -= retained
+                if not to_release:
+                    break
+
+        # If nothing will ever take over the nodes still retained by this
+        # request's finished NEXT ancestors, give them back now.
+        if self._pending_next_child(session, request) is None:
+            for ancestor in self._next_chain_ancestors(request, include_self=True):
+                if ancestor.node_ids and self._pending_next_child(session, ancestor) is None:
+                    self.platform.release(request.cluster_id, ancestor.node_ids, self.now)
+                    session.remove_nodes(request.cluster_id, ancestor.node_ids)
+                    ancestor.node_ids = frozenset()
+
+        if was_started:
+            self.accountant.record_interval(
+                app_id=session.app_id,
+                request_id=request.request_id,
+                rtype=request.rtype,
+                cluster_id=request.cluster_id,
+                node_count=nodes_used,
+                start=request.started_at,
+                end=self.now,
+            )
+        if expired:
+            self.event_log.record(
+                RequestExpired(self.now, session.app_id, request_id=request.request_id)
+            )
+
+    def _pending_next_child(self, session: Session, request: Request) -> Optional[Request]:
+        """The not-yet-started NEXT successor of *request*, if any."""
+        for candidate_set in (
+            session.requests.non_preemptible,
+            session.requests.preemptible,
+            session.requests.preallocations,
+        ):
+            for r in candidate_set:
+                if (
+                    r.related_how is RelatedHow.NEXT
+                    and r.related_to is request
+                    and not r.started()
+                    and not r.finished()
+                ):
+                    return r
+        return None
+
+    @staticmethod
+    def _next_chain_ancestors(request: Request, include_self: bool = False, max_hops: int = 64):
+        """Finished ``NEXT`` ancestors of *request* that still retain node IDs.
+
+        Update operations chain requests with ``NEXT``; nodes stay bound to a
+        finished predecessor until its successor starts.  Several helpers need
+        to walk that chain (to carry nodes over, to release them early, or to
+        clean up orphans), so the traversal lives here.
+        """
+        if include_self and request.finished() and request.node_ids:
+            yield request
+        current = request
+        hops = 0
+        while (
+            current.related_how is RelatedHow.NEXT
+            and current.related_to is not None
+            and hops < max_hops
+        ):
+            parent = current.related_to
+            if parent.finished() and parent.node_ids:
+                yield parent
+            if not parent.finished():
+                break
+            current = parent
+            hops += 1
+
+    def _start_request(self, session: Session, request: Request) -> bool:
+        """Try to start *request* now; returns False if it must wait for nodes."""
+        if request.started() or request.finished():
+            return True
+        now = self.now
+
+        if request.is_preallocation():
+            request.mark_started(now, frozenset())
+            session.application.on_start(request, frozenset())
+            self._schedule_expiry(session, request)
+            self.event_log.record(
+                RequestStarted(now, session.app_id, request_id=request.request_id)
+            )
+            return True
+
+        cluster = self.platform.cluster(request.cluster_id)
+        needed = request.node_count
+        if request.is_preemptible():
+            needed = min(request.node_count, max(request.n_alloc, 0))
+
+        # Nodes retained by finished NEXT predecessors stay allocated to the
+        # application; re-label them for this request.  The chain may be more
+        # than one hop long when updates were issued faster than they could
+        # be served.
+        carried: Set[NodeId] = set()
+        carried_from: Dict[int, Set[NodeId]] = {}
+        session_holds = set(session.holds(request.cluster_id))
+        for ancestor in self._next_chain_ancestors(request):
+            if len(carried) >= needed:
+                break
+            take = (set(ancestor.node_ids) & session_holds) - carried
+            take = set(sorted(take)[: needed - len(carried)])
+            if take:
+                carried |= take
+                carried_from[ancestor.request_id] = take
+
+        free = cluster.free_count()
+        extra_needed = max(0, needed - len(carried))
+        if request.is_non_preemptible():
+            if free < extra_needed:
+                # Not enough nodes free yet: wait for an application to
+                # release resources (paper Appendix A.5, situation 2).
+                return False
+        else:
+            extra_needed = min(extra_needed, free)
+
+        new_nodes: FrozenSet[NodeId] = frozenset()
+        if extra_needed > 0:
+            new_nodes = cluster.allocate(
+                extra_needed, session.app_id, request.request_id, now
+            )
+            session.add_nodes(request.cluster_id, new_nodes)
+        if carried:
+            cluster.transfer(carried, session.app_id, request.request_id, now)
+            for ancestor in self._next_chain_ancestors(request):
+                taken = carried_from.get(ancestor.request_id)
+                if taken:
+                    ancestor.node_ids = frozenset(set(ancestor.node_ids) - taken)
+        # Retained nodes of the chain that this request did not take are no
+        # longer needed by anyone: give them back.
+        for ancestor in self._next_chain_ancestors(request):
+            if ancestor.node_ids:
+                leftover = set(ancestor.node_ids) & session_holds
+                leftover -= carried
+                if leftover:
+                    cluster.release(leftover, now)
+                    session.remove_nodes(request.cluster_id, frozenset(leftover))
+                ancestor.node_ids = frozenset()
+
+        all_nodes = frozenset(carried) | new_nodes
+        request.mark_started(now, all_nodes)
+        self._schedule_expiry(session, request)
+        session.application.on_start(request, all_nodes)
+        self.event_log.record(
+            RequestStarted(
+                now,
+                session.app_id,
+                request_id=request.request_id,
+                node_ids=tuple(sorted(all_nodes)),
+            )
+        )
+        return True
+
+    def _schedule_expiry(self, session: Session, request: Request) -> None:
+        if math.isinf(request.duration):
+            return
+        handle = self.simulator.schedule(
+            request.duration, self._expire_request, session.app_id, request
+        )
+        self._expiry_handles[request.request_id] = handle
+
+    def _cancel_expiry(self, request: Request) -> None:
+        handle = self._expiry_handles.pop(request.request_id, None)
+        if handle is not None:
+            handle.cancel()
+
+    def _expire_request(self, app_id: str, request: Request) -> None:
+        session = self.sessions.get(app_id)
+        if session is None or not session.alive or request.finished():
+            return
+        self._finish_request(session, request, released_node_ids=None, expired=True)
+        self._trigger_schedule()
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+    def _trigger_schedule(self) -> None:
+        """Run the scheduler soon, coalescing bursts of messages."""
+        if self._schedule_handle is not None and self._schedule_handle.pending():
+            return
+        earliest = self._last_schedule_time + self.rescheduling_interval
+        delay = max(0.0, earliest - self.now)
+        self._schedule_handle = self.simulator.schedule(delay, self._run_schedule)
+
+    def _run_schedule(self) -> None:
+        self._schedule_handle = None
+        self._last_schedule_time = self.now
+
+        # Drop finished requests that no unfinished request depends on, so
+        # long-running applications (which update thousands of times) keep
+        # the scheduling cost proportional to their *live* requests.
+        for session in self.connected_sessions():
+            session.requests.prune_finished()
+
+        applications = {
+            session.app_id: session.requests for session in self.connected_sessions()
+        }
+        if not applications:
+            return
+        result = self.scheduler.schedule(applications, self.now)
+
+        # Start requests whose time has come.  Non-preemptible requests that
+        # cannot get node IDs yet (resources not released) stay pending and
+        # will be retried at the next pass.
+        deferred = False
+        for request in result.to_start:
+            session = self.sessions.get(request.app_id)
+            if session is None or not session.alive:
+                continue
+            if not self._start_request(session, request):
+                deferred = True
+        if deferred:
+            # Make sure a retry happens even if no further message arrives
+            # (the releasing application may already have gone quiet).
+            self.simulator.schedule(self.rescheduling_interval, self._trigger_schedule)
+
+        # Push views that changed.
+        for session in self.connected_sessions():
+            non_preemptive = result.non_preemptive_views.get(session.app_id, View.empty())
+            preemptive = result.preemptive_views.get(session.app_id, View.empty())
+            if session.views_changed(non_preemptive, preemptive):
+                session.remember_views(non_preemptive, preemptive)
+                self.event_log.record(
+                    ViewsPushed(
+                        self.now,
+                        session.app_id,
+                        non_preemptive_total=non_preemptive[
+                            self.platform.default_cluster_id()
+                        ].value_at(self.now),
+                        preemptive_total=preemptive[
+                            self.platform.default_cluster_id()
+                        ].value_at(self.now),
+                    )
+                )
+                session.application.on_views(non_preemptive, preemptive)
+
+        if self.kill_protocol_violators:
+            self.simulator.schedule(self.violation_grace, self._check_protocol_violations)
+
+    def _check_protocol_violations(self) -> None:
+        """Kill applications that hold more preemptible nodes than allowed."""
+        for session in self.connected_sessions():
+            view = session.last_preemptive_view
+            if view is None:
+                continue
+            for cid in self.platform.clusters:
+                held = session.preemptible_held_count(cid)
+                allowed = int(view[cid].value_at(self.now))
+                if held > allowed:
+                    self.kill(
+                        session.app_id,
+                        reason=(
+                            f"holds {held} preemptible nodes on {cid!r} but the "
+                            f"preemptive view only allows {allowed}"
+                        ),
+                    )
+                    break
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers used by experiments and tests
+    # ------------------------------------------------------------------ #
+    def force_schedule(self) -> None:
+        """Run a scheduling pass immediately (tests and experiments only)."""
+        self._run_schedule()
+
+    def total_nodes(self) -> int:
+        return self.platform.total_nodes()
+
+    def __repr__(self) -> str:
+        return (
+            f"CooRMv2({self.platform!r}, {len(self.connected_sessions())} sessions, "
+            f"t={self.now:g})"
+        )

@@ -1,0 +1,185 @@
+"""The main CooRMv2 scheduling algorithm (paper Algorithm 4).
+
+Given the three request sets of every connected application (in connection
+order) and the platform capacity, a scheduling pass
+
+1. subtracts the resources held by started pre-allocations from the
+   non-preemptible availability and the resources held by started
+   non-preemptible requests from the preemptible availability;
+2. for every application in connection order, computes its **non-preemptive
+   view** (its own pre-allocated space plus the globally free space), fits
+   its pending pre-allocations, then fits its pending non-preemptible
+   requests inside its pre-allocated space;
+3. equi-partitions the remaining resources among the preemptible requests of
+   all applications (:func:`~repro.core.eqschedule.eq_schedule`), producing
+   the per-application **preemptive views**;
+4. reports which requests must start now.
+
+Processing the applications in connection order and consuming the
+availability view after each one yields Conservative Back-Filling of the
+pre-allocations, as the paper prescribes.
+
+One deliberate extension over the pseudo-code: pending non-preemptible
+requests that do not fit inside the application's pre-allocations are fitted
+into the globally free non-preemptible space instead, and that overflow is
+charged against it.  This is the paper's "implicitly wrapped in
+pre-allocations of the same size" rule (Section 3.2) and is what lets rigid
+and moldable applications -- which never send pre-allocations -- be scheduled
+at all.
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from .eqschedule import eq_schedule
+from .fit import fit
+from .request import Request
+from .request_set import ApplicationRequests
+from .toview import to_view
+from .types import ClusterId, Time
+from .view import View
+
+__all__ = ["ScheduleResult", "Scheduler"]
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one scheduling pass."""
+
+    #: Application id -> non-preemptive view (pre-allocations + free space).
+    non_preemptive_views: Dict[str, View] = field(default_factory=dict)
+    #: Application id -> preemptive view (equi-partitioned remainder).
+    preemptive_views: Dict[str, View] = field(default_factory=dict)
+    #: Requests whose computed start time is not later than "now" and that
+    #: have not been started yet; the RMS layer starts them and binds node IDs.
+    to_start: List[Request] = field(default_factory=list)
+    #: Time at which the pass ran.
+    now: Time = 0.0
+
+
+class Scheduler:
+    """Stateless scheduling engine implementing Algorithm 4.
+
+    Parameters
+    ----------
+    capacity:
+        Mapping of cluster id to total node count of that cluster.
+    strict_equipartition:
+        When True, preemptible resources are shared with the *strict*
+        equi-partitioning baseline instead of CooRMv2's
+        equi-partitioning-with-filling (used for the Figure 11 comparison).
+    """
+
+    def __init__(self, capacity: Mapping[ClusterId, int], strict_equipartition: bool = False):
+        if not capacity:
+            raise ValueError("the platform needs at least one cluster")
+        for cid, n in capacity.items():
+            if n <= 0:
+                raise ValueError(f"cluster {cid!r} must have a positive node count")
+        self.capacity: Dict[ClusterId, int] = dict(capacity)
+        self.strict_equipartition = strict_equipartition
+
+    # ------------------------------------------------------------------ #
+    def full_view(self) -> View:
+        """A view offering every node of every cluster forever."""
+        return View.constant(self.capacity)
+
+    def schedule(
+        self,
+        applications: Mapping[str, ApplicationRequests],
+        now: Time,
+    ) -> ScheduleResult:
+        """Run one scheduling pass over *applications* (in connection order)."""
+        result = ScheduleResult(now=now)
+
+        # Line 1-2: scratch views start with the whole platform.
+        available_non_preemptible = self.full_view()
+        available_preemptible = self.full_view()
+
+        started_pa_occ: Dict[str, View] = {}
+        started_np_occ: Dict[str, View] = {}
+
+        # Lines 3-5: subtract resources held by started requests.
+        for app_id, requests in applications.items():
+            pa_occ = to_view(requests.preallocations)
+            np_occ = to_view(requests.non_preemptible)
+            started_pa_occ[app_id] = pa_occ
+            started_np_occ[app_id] = np_occ
+            available_non_preemptible = available_non_preemptible - pa_occ
+            available_preemptible = available_preemptible - np_occ
+            # Started non-preemptible requests living outside any
+            # pre-allocation (implicit wrapping) also consume
+            # non-preemptible space.
+            overflow_started = (np_occ - pa_occ).clip_low(0.0)
+            if not overflow_started.is_zero():
+                available_non_preemptible = available_non_preemptible - overflow_started
+
+        # Lines 6-11: per-application pass, in connection order.
+        for app_id, requests in applications.items():
+            pa_occ = started_pa_occ[app_id]
+            np_occ = started_np_occ[app_id]
+
+            # Line 7: the application's non-preemptive view.
+            view_np = (pa_occ + available_non_preemptible).clip_low(0.0)
+            result.non_preemptive_views[app_id] = view_np
+
+            # Line 8: fit pending pre-allocations into that view.
+            occ_pending_pa = fit(requests.preallocations, view_np, now)
+
+            # Line 9: fit pending non-preemptible requests inside the
+            # application's pre-allocated space (started + newly placed).
+            # Applications that never sent a pre-allocation (rigid, moldable,
+            # malleable minima) get the "implicit wrapping" treatment instead:
+            # their non-preemptible requests are fitted into the globally free
+            # non-preemptible space.
+            pa_space = pa_occ + occ_pending_pa
+            inside_pa = (pa_space - np_occ).clip_low(0.0)
+            has_preallocations = bool(requests.preallocations.active_or_pending())
+            if has_preallocations:
+                fit_space = inside_pa
+            else:
+                free_space = (available_non_preemptible - occ_pending_pa).clip_low(0.0)
+                fit_space = inside_pa + free_space
+            occ_pending_np = fit(requests.non_preemptible, fit_space, now)
+
+            # Overflow of newly placed non-preemptible requests beyond the
+            # pre-allocated space consumes non-preemptible availability too.
+            overflow_pending = (occ_pending_np - inside_pa).clip_low(0.0)
+
+            # Lines 10-11: consume the scratch views.
+            available_non_preemptible = (
+                available_non_preemptible - occ_pending_pa - overflow_pending
+            )
+            available_preemptible = available_preemptible - occ_pending_np
+
+        # Line 12: equi-partition the preemptible space.
+        preemptible_sets = {
+            app_id: requests.preemptible for app_id, requests in applications.items()
+        }
+        result.preemptive_views = eq_schedule(
+            preemptible_sets,
+            available_preemptible.clip_low(0.0),
+            now,
+            strict=self.strict_equipartition,
+        )
+
+        # Lines 13-14: collect requests that must start now.
+        for requests in applications.values():
+            for r in requests.all_requests():
+                if r.finished() or r.started():
+                    continue
+                if not math.isinf(r.scheduled_at) and r.scheduled_at <= now + 1e-9:
+                    result.to_start.append(r)
+
+        return result
+
+    # ------------------------------------------------------------------ #
+    def total_nodes(self) -> int:
+        """Total node count over all clusters."""
+        return sum(self.capacity.values())
+
+    def __repr__(self) -> str:
+        mode = "strict-eq" if self.strict_equipartition else "eq-filling"
+        return f"Scheduler({self.capacity}, {mode})"

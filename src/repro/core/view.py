@@ -1,0 +1,188 @@
+"""Views: per-cluster resource availability presented to applications.
+
+A view (paper Sections 3.1.4 and A.3) maps a cluster ID to a Cluster
+Availability Profile (a :class:`~repro.core.profile.StepFunction`).  The RMS
+computes two views per application:
+
+* the **non-preemptive view** ``V_{¬P}`` -- availability for pre-allocations
+  and non-preemptible requests, and
+* the **preemptive view** ``V_P`` -- availability for preemptible requests.
+
+This module implements the view algebra of Appendix A.3: union (pointwise
+max), sum, difference, ``alloc`` and ``findHole``.
+"""
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from .errors import ViewError
+from .profile import StepFunction
+from .types import ClusterId, Time
+
+__all__ = ["View"]
+
+
+class View:
+    """A mapping of cluster IDs to availability profiles.
+
+    Missing clusters evaluate as the zero profile, so views over different
+    cluster sets combine naturally.  Like :class:`StepFunction`, views are
+    treated as immutable; all operators return new instances.
+    """
+
+    __slots__ = ("_caps",)
+
+    def __init__(self, caps: Optional[Mapping[ClusterId, StepFunction]] = None):
+        self._caps: Dict[ClusterId, StepFunction] = {}
+        if caps:
+            for cid, cap in caps.items():
+                if not isinstance(cap, StepFunction):
+                    raise ViewError(f"cluster {cid!r}: expected a StepFunction")
+                self._caps[cid] = cap
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls) -> "View":
+        """A view with no clusters (zero availability everywhere)."""
+        return cls()
+
+    @classmethod
+    def constant(cls, node_counts: Mapping[ClusterId, int]) -> "View":
+        """A view where each cluster offers a constant node count forever."""
+        return cls({cid: StepFunction.constant(n) for cid, n in node_counts.items()})
+
+    @classmethod
+    def from_duration_pairs(
+        cls, pairs: Mapping[ClusterId, Iterable[Tuple[Time, float]]]
+    ) -> "View":
+        """Build a view from the paper's per-cluster ``[(duration, n), ...]`` form."""
+        return cls({cid: StepFunction.from_duration_pairs(p) for cid, p in pairs.items()})
+
+    # ------------------------------------------------------------------ #
+    # Mapping-like access
+    # ------------------------------------------------------------------ #
+    def clusters(self) -> Tuple[ClusterId, ...]:
+        """Cluster IDs present in this view."""
+        return tuple(sorted(self._caps))
+
+    def __getitem__(self, cid: ClusterId) -> StepFunction:
+        """Profile of cluster *cid*; absent clusters are the zero profile."""
+        return self._caps.get(cid, StepFunction.zero())
+
+    def __contains__(self, cid: ClusterId) -> bool:
+        return cid in self._caps
+
+    def __iter__(self) -> Iterator[ClusterId]:
+        return iter(sorted(self._caps))
+
+    def __len__(self) -> int:
+        return len(self._caps)
+
+    def items(self) -> Iterator[Tuple[ClusterId, StepFunction]]:
+        for cid in sorted(self._caps):
+            yield cid, self._caps[cid]
+
+    def value_at(self, cid: ClusterId, t: Time) -> float:
+        """Availability of cluster *cid* at time *t* (``V[cid](t)`` in the paper)."""
+        return self[cid].value_at(t)
+
+    # ------------------------------------------------------------------ #
+    # Algebra (Appendix A.3)
+    # ------------------------------------------------------------------ #
+    def _combine(self, other: "View", op) -> "View":
+        caps: Dict[ClusterId, StepFunction] = {}
+        for cid in set(self._caps) | set(other._caps):
+            caps[cid] = op(self[cid], other[cid])
+        return View(caps)
+
+    def union(self, other: "View") -> "View":
+        """Pointwise maximum per cluster (the paper's ``∪``)."""
+        return self._combine(other, lambda a, b: a.maximum(b))
+
+    def __or__(self, other: "View") -> "View":
+        return self.union(other)
+
+    def __add__(self, other: "View") -> "View":
+        return self._combine(other, lambda a, b: a + b)
+
+    def __sub__(self, other: "View") -> "View":
+        return self._combine(other, lambda a, b: a - b)
+
+    def clip_low(self, floor: float = 0.0) -> "View":
+        """Clamp every profile to be at least *floor* (usually 0)."""
+        return View({cid: cap.clip_low(floor) for cid, cap in self._caps.items()})
+
+    def clip_high(self, ceilings: Mapping[ClusterId, float]) -> "View":
+        """Clamp each cluster's profile at its ceiling (e.g. the cluster size)."""
+        caps = {}
+        for cid, cap in self._caps.items():
+            ceiling = ceilings.get(cid)
+            caps[cid] = cap if ceiling is None else cap.clip_high(ceiling)
+        return View(caps)
+
+    def add_rectangle(self, cid: ClusterId, start: Time, duration: Time, height: float) -> "View":
+        """Return this view with a rectangle added on cluster *cid*."""
+        caps = dict(self._caps)
+        caps[cid] = self[cid].add_rectangle(start, duration, height)
+        return View(caps)
+
+    def is_non_negative(self) -> bool:
+        """True if no cluster profile ever goes below zero."""
+        return all(cap.is_non_negative() for cap in self._caps.values())
+
+    def is_zero(self) -> bool:
+        """True if every cluster profile is identically zero."""
+        return all(cap.is_zero() for cap in self._caps.values())
+
+    def integrate(self, start: Time = 0.0, end: Time = math.inf) -> float:
+        """Total node-seconds over all clusters in ``[start, end)``."""
+        return sum(cap.integrate(start, end) for cap in self._caps.values())
+
+    # ------------------------------------------------------------------ #
+    # Scheduling primitives (Appendix A.3)
+    # ------------------------------------------------------------------ #
+    def alloc(self, request) -> int:
+        """Node count that can be allocated to *request* at its scheduled time.
+
+        Implements the paper's ``alloc(V, r)``: the minimum between the
+        requested node count and the availability of the request's cluster
+        over ``[scheduledAt, scheduledAt + duration)``.  Used to compute
+        ``n_alloc`` for preemptible requests, which the RMS may legally
+        shrink.
+        """
+        cap = self[request.cluster_id]
+        granted = cap.alloc_limit(request.scheduled_at, request.duration, request.node_count)
+        return int(math.floor(granted + 1e-9))
+
+    def find_hole(self, request, not_before: Time = 0.0) -> Time:
+        """Earliest start time for *request* (the paper's ``findHole``).
+
+        The search starts no earlier than ``max(not_before,
+        request.earliest_schedule_at)`` and returns ``math.inf`` if the
+        request can never be placed.
+        """
+        earliest = max(not_before, request.earliest_schedule_at)
+        cap = self[request.cluster_id]
+        return cap.find_hole(request.node_count, request.duration, earliest)
+
+    # ------------------------------------------------------------------ #
+    # Dunder glue
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, View):
+            return NotImplemented
+        for cid in set(self._caps) | set(other._caps):
+            if self[cid] != other[cid]:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{cid!r}: {cap!r}" for cid, cap in self.items())
+        return f"View({{{inner}}})"
+
+    def to_duration_pairs(self, horizon: Time) -> Dict[ClusterId, list]:
+        """Export every cluster profile in the paper's duration-pair form."""
+        return {cid: cap.to_duration_pairs(horizon) for cid, cap in self.items()}

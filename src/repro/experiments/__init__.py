@@ -1,0 +1,25 @@
+"""Experiment drivers, one module per figure of the paper's evaluation."""
+from .runner import EvaluationScale, ScenarioResult, build_evolution, run_scenario
+from . import (
+    fig1_amr_profiles,
+    fig2_speedup_fit,
+    fig3_static_endtime,
+    fig4_static_choices,
+    fig9_spontaneous,
+    fig10_announced,
+    fig11_two_psas,
+)
+
+__all__ = [
+    "EvaluationScale",
+    "ScenarioResult",
+    "build_evolution",
+    "run_scenario",
+    "fig1_amr_profiles",
+    "fig2_speedup_fit",
+    "fig3_static_endtime",
+    "fig4_static_choices",
+    "fig9_spontaneous",
+    "fig10_announced",
+    "fig11_two_psas",
+]

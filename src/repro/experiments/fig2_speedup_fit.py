@@ -1,0 +1,73 @@
+"""Figure 2 -- step duration versus node count for several mesh sizes.
+
+The paper fits the speed-up model against Uintah AMR measurements for five
+mesh sizes (12, 48, 196, 784 and 3136 GiB) over node counts from 1 to 16k.
+We do not have the raw measurements, so the reproduction regenerates the
+model curves with the published constants and verifies their qualitative
+properties: durations decrease with node count up to an optimum, larger
+meshes take longer, and strong scaling flattens out exactly where the
+overhead term takes over.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..metrics.report import format_series
+from ..models.speedup import GIB_IN_MIB, PAPER_SPEEDUP_MODEL, SpeedupModel
+
+__all__ = ["PAPER_MESH_SIZES_GIB", "PAPER_NODE_COUNTS", "run", "main"]
+
+#: The five curves of Figure 2, in GiB.
+PAPER_MESH_SIZES_GIB: Tuple[float, ...] = (12.0, 48.0, 196.0, 784.0, 3136.0)
+
+#: The x-axis of Figure 2 (powers of two from 1 to 16k nodes).
+PAPER_NODE_COUNTS: Tuple[int, ...] = tuple(2 ** k for k in range(15))
+
+
+@dataclass(frozen=True)
+class SpeedupCurve:
+    """One Figure 2 curve: step duration per node count for one mesh size."""
+
+    mesh_size_gib: float
+    node_counts: Tuple[int, ...]
+    durations: Tuple[float, ...]
+
+    def duration_at(self, nodes: int) -> float:
+        return self.durations[self.node_counts.index(nodes)]
+
+
+def run(
+    mesh_sizes_gib: Sequence[float] = PAPER_MESH_SIZES_GIB,
+    node_counts: Sequence[int] = PAPER_NODE_COUNTS,
+    model: SpeedupModel = PAPER_SPEEDUP_MODEL,
+) -> Dict[float, SpeedupCurve]:
+    """Compute every Figure 2 curve."""
+    curves: Dict[float, SpeedupCurve] = {}
+    for size_gib in mesh_sizes_gib:
+        size_mib = size_gib * GIB_IN_MIB
+        durations = tuple(model.step_duration(n, size_mib) for n in node_counts)
+        curves[size_gib] = SpeedupCurve(
+            mesh_size_gib=size_gib,
+            node_counts=tuple(int(n) for n in node_counts),
+            durations=durations,
+        )
+    return curves
+
+
+def main(
+    mesh_sizes_gib: Sequence[float] = PAPER_MESH_SIZES_GIB,
+    node_counts: Sequence[int] = PAPER_NODE_COUNTS,
+) -> str:
+    """Render the Figure 2 reproduction as a text table (seconds per step)."""
+    curves = run(mesh_sizes_gib, node_counts)
+    series = {
+        f"{size:g} GiB": [round(d, 2) for d in curves[size].durations]
+        for size in mesh_sizes_gib
+    }
+    table = format_series("nodes", list(node_counts), series)
+    return "Figure 2 -- AMR step duration (s) vs node count\n" + table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

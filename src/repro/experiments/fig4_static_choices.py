@@ -1,0 +1,106 @@
+"""Figure 4 -- defensible static allocation choices at 75 % target efficiency.
+
+Without knowing the evolution in advance, a user must pick a static node
+count that (a) never runs out of memory at the peak working-set size and
+(b) does not consume more than 10 % extra resources compared to the dynamic
+allocation's area A(75 %).  The figure plots, for relative peak data sizes
+from 1/8x to 8x, the range of node counts satisfying both constraints -- and
+shows how narrow (or empty) that range is, which motivates RMS support for
+evolving applications.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..metrics.report import format_table
+from ..models.amr_evolution import AmrEvolutionParameters, WorkingSetEvolution
+from ..models.speedup import PAPER_SPEEDUP_MODEL, SpeedupModel, TIB_IN_MIB
+from ..models.static_equivalent import (
+    DEFAULT_NODE_MEMORY_MIB,
+    static_allocation_range,
+)
+
+__all__ = ["PAPER_RELATIVE_SIZES", "StaticChoiceRow", "run", "main"]
+
+#: The y-axis of Figure 4: peak data size relative to the reference 3.16 TiB.
+PAPER_RELATIVE_SIZES: Tuple[float, ...] = (0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+@dataclass(frozen=True)
+class StaticChoiceRow:
+    """The node-count range for one relative data size."""
+
+    relative_size: float
+    peak_size_mib: float
+    min_nodes: Optional[int]
+    max_nodes: Optional[int]
+
+    @property
+    def feasible(self) -> bool:
+        return self.min_nodes is not None and self.max_nodes is not None
+
+    @property
+    def range_width(self) -> int:
+        if not self.feasible:
+            return 0
+        return max(0, self.max_nodes - self.min_nodes)
+
+
+def run(
+    relative_sizes: Sequence[float] = PAPER_RELATIVE_SIZES,
+    reference_size_mib: float = 3.16 * TIB_IN_MIB,
+    target_efficiency: float = 0.75,
+    overuse_tolerance: float = 0.10,
+    node_memory_mib: float = DEFAULT_NODE_MEMORY_MIB,
+    seed: int = 0,
+    num_steps: int = 1000,
+    model: SpeedupModel = PAPER_SPEEDUP_MODEL,
+) -> Dict[float, StaticChoiceRow]:
+    """Compute the static-choice range for each relative peak size."""
+    params = AmrEvolutionParameters(num_steps=num_steps)
+    rows: Dict[float, StaticChoiceRow] = {}
+    for relative in relative_sizes:
+        peak = relative * reference_size_mib
+        evolution = WorkingSetEvolution.generate(peak, seed=seed, params=params)
+        result = static_allocation_range(
+            evolution,
+            target_efficiency=target_efficiency,
+            overuse_tolerance=overuse_tolerance,
+            node_memory_mib=node_memory_mib,
+            model=model,
+        )
+        if result is None:
+            rows[relative] = StaticChoiceRow(relative, peak, None, None)
+        else:
+            rows[relative] = StaticChoiceRow(relative, peak, result[0], result[1])
+    return rows
+
+
+def main(
+    relative_sizes: Sequence[float] = PAPER_RELATIVE_SIZES,
+    num_steps: int = 1000,
+) -> str:
+    """Render the Figure 4 reproduction as a text table."""
+    rows = run(relative_sizes, num_steps=num_steps)
+    table_rows = []
+    for relative in relative_sizes:
+        row = rows[relative]
+        table_rows.append(
+            (
+                f"{relative:g}x",
+                int(row.peak_size_mib),
+                row.min_nodes if row.feasible else "-",
+                row.max_nodes if row.feasible else "-",
+                row.range_width if row.feasible else "empty",
+            )
+        )
+    table = format_table(
+        ["relative size", "peak (MiB)", "min nodes (no OOM)", "max nodes (<=+10%)", "width"],
+        table_rows,
+    )
+    return "Figure 4 -- static allocation choices for 75% target efficiency\n" + table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

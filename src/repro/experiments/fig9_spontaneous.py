@@ -1,0 +1,109 @@
+"""Figure 9 -- scheduling with spontaneous updates.
+
+One AMR application and one PSA (600-second tasks) share a cluster sized to
+the AMR's pre-allocation.  The AMR's pre-allocation is its ideal static guess
+times an *overcommit factor*; the figure sweeps that factor and reports
+
+* the resources effectively allocated to the AMR, for a *static* allocation
+  (the application is forced to use its whole pre-allocation) and a *dynamic*
+  allocation (the application updates its non-preemptible request inside the
+  pre-allocation), and
+* the PSA waste caused by the AMR's spontaneous updates in the dynamic case.
+
+Expected shape: static used-resources grow with the overcommit factor while
+dynamic stays flat; waste grows with the overcommit factor and saturates
+beyond 1.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..metrics.report import format_table
+from .runner import EvaluationScale, run_scenario
+
+__all__ = ["PAPER_OVERCOMMIT_FACTORS", "Fig9Point", "run", "main"]
+
+#: Overcommit factors swept in the paper (log scale from 0.1 to 10).
+PAPER_OVERCOMMIT_FACTORS: Tuple[float, ...] = (0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0)
+
+
+@dataclass(frozen=True)
+class Fig9Point:
+    """One x-position of Figure 9."""
+
+    overcommit: float
+    static_amr_used_node_seconds: float
+    dynamic_amr_used_node_seconds: float
+    dynamic_psa_waste_node_seconds: float
+    static_end_time: float
+    dynamic_end_time: float
+
+
+def run(
+    overcommit_factors: Sequence[float] = PAPER_OVERCOMMIT_FACTORS,
+    scale: EvaluationScale = None,
+    seed: int = 0,
+) -> List[Fig9Point]:
+    """Run the Figure 9 sweep and return one point per overcommit factor."""
+    if scale is None:
+        scale = EvaluationScale.reduced()
+    points: List[Fig9Point] = []
+    for overcommit in overcommit_factors:
+        static = run_scenario(
+            scale,
+            seed=seed,
+            overcommit=overcommit,
+            static_allocation=True,
+            psa_task_durations=(scale.psa1_task_duration,),
+        )
+        dynamic = run_scenario(
+            scale,
+            seed=seed,
+            overcommit=overcommit,
+            static_allocation=False,
+            psa_task_durations=(scale.psa1_task_duration,),
+        )
+        points.append(
+            Fig9Point(
+                overcommit=overcommit,
+                static_amr_used_node_seconds=static.metrics.amr_used_node_seconds,
+                dynamic_amr_used_node_seconds=dynamic.metrics.amr_used_node_seconds,
+                dynamic_psa_waste_node_seconds=dynamic.metrics.psa_waste_node_seconds,
+                static_end_time=static.metrics.amr_end_time,
+                dynamic_end_time=dynamic.metrics.amr_end_time,
+            )
+        )
+    return points
+
+
+def main(
+    overcommit_factors: Sequence[float] = PAPER_OVERCOMMIT_FACTORS,
+    scale: EvaluationScale = None,
+    seed: int = 0,
+) -> str:
+    """Render the Figure 9 reproduction as a text table."""
+    points = run(overcommit_factors, scale=scale, seed=seed)
+    rows = [
+        (
+            p.overcommit,
+            round(p.static_amr_used_node_seconds),
+            round(p.dynamic_amr_used_node_seconds),
+            round(p.dynamic_psa_waste_node_seconds),
+        )
+        for p in points
+    ]
+    table = format_table(
+        [
+            "overcommit",
+            "AMR used (static, node*s)",
+            "AMR used (dynamic, node*s)",
+            "PSA waste (dynamic, node*s)",
+        ],
+        rows,
+    )
+    return "Figure 9 -- spontaneous updates: AMR used resources and PSA waste\n" + table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

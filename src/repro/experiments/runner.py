@@ -1,0 +1,205 @@
+"""Shared machinery of the evaluation experiments (paper Section 5).
+
+Every simulation-based figure (9, 10, 11) uses the same scenario: one
+non-predictably evolving AMR application plus one or two malleable
+Parameter-Sweep Applications on a single homogeneous cluster, scheduled by
+CooRMv2 with a 1-second re-scheduling interval.  :func:`run_scenario` builds
+and runs that scenario and returns the collected metrics;
+:class:`EvaluationScale` groups the size knobs so the same code can run at
+the paper's full scale, at a reduced scale (default for EXPERIMENTS.md) or at
+a tiny scale suitable for unit tests and benchmarks.
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..apps.nea import AmrApplication
+from ..apps.psa import ParameterSweepApplication
+from ..cluster.platform import Platform
+from ..core.rms import CooRMv2
+from ..metrics.collector import SimulationMetrics
+from ..models.amr_evolution import AmrEvolutionParameters, WorkingSetEvolution
+from ..models.speedup import PAPER_SPEEDUP_MODEL, SpeedupModel, TIB_IN_MIB
+from ..models.static_equivalent import equivalent_static_allocation
+from ..sim.engine import Simulator
+
+__all__ = ["EvaluationScale", "ScenarioResult", "build_evolution", "run_scenario"]
+
+
+@dataclass(frozen=True)
+class EvaluationScale:
+    """Size knobs of the evaluation scenario.
+
+    ``paper()`` reproduces the parameters of Section 5 exactly;
+    ``reduced()`` shrinks the run so a full figure sweep completes in minutes
+    on a laptop; ``tiny()`` is meant for tests and pytest benchmarks.
+    """
+
+    #: Number of AMR steps (1000 in the paper).
+    num_steps: int = 1000
+    #: Peak working-set size in MiB (3.16 TiB in the paper).
+    s_max_mib: float = 3.16 * TIB_IN_MIB
+    #: Target efficiency of the AMR application.
+    target_efficiency: float = 0.75
+    #: Task duration of the primary PSA (PSA1), seconds.
+    psa1_task_duration: float = 600.0
+    #: Task duration of the secondary PSA (PSA2), seconds.
+    psa2_task_duration: float = 60.0
+    #: Cluster size as a multiple of the pre-allocation (the paper picks
+    #: n = 1400 * overcommit, i.e. about 1.16x the AMR's pre-allocation).
+    cluster_headroom: float = 1.16
+    #: RMS re-scheduling interval, seconds (1 s in the paper).
+    rescheduling_interval: float = 1.0
+
+    @classmethod
+    def paper(cls) -> "EvaluationScale":
+        """The exact parameters of the paper's evaluation."""
+        return cls()
+
+    @classmethod
+    def reduced(cls) -> "EvaluationScale":
+        """A ~4x smaller platform and 4x shorter run; same qualitative shape."""
+        return cls(
+            num_steps=250,
+            s_max_mib=3.16 * TIB_IN_MIB / 4.0,
+            psa1_task_duration=600.0,
+            psa2_task_duration=60.0,
+        )
+
+    @classmethod
+    def tiny(cls) -> "EvaluationScale":
+        """A toy scale for unit tests and micro-benchmarks."""
+        return cls(
+            num_steps=40,
+            s_max_mib=3.16 * TIB_IN_MIB / 32.0,
+            psa1_task_duration=60.0,
+            psa2_task_duration=10.0,
+        )
+
+    def with_steps(self, num_steps: int) -> "EvaluationScale":
+        return replace(self, num_steps=num_steps)
+
+
+@dataclass
+class ScenarioResult:
+    """Everything an experiment needs from one simulated scenario."""
+
+    metrics: SimulationMetrics
+    amr: AmrApplication
+    psas: List[ParameterSweepApplication]
+    rms: CooRMv2
+    #: The user's "ideal" pre-allocation guess (the equivalent static
+    #: allocation computed with a-posteriori knowledge), before overcommit.
+    ideal_preallocation: int
+    cluster_nodes: int
+
+
+def build_evolution(
+    scale: EvaluationScale,
+    seed: Optional[int] = None,
+    model: SpeedupModel = PAPER_SPEEDUP_MODEL,
+) -> WorkingSetEvolution:
+    """Draw one AMR working-set evolution at the given scale.
+
+    For runs shorter than the paper's 1000 steps the model parameters are
+    rescaled (see :meth:`AmrEvolutionParameters.scaled`) so that the profile
+    keeps the documented mostly-increasing shape instead of degenerating into
+    normalised noise.
+    """
+    if scale.num_steps == 1000:
+        params = AmrEvolutionParameters(num_steps=scale.num_steps)
+    else:
+        params = AmrEvolutionParameters.scaled(scale.num_steps)
+    return WorkingSetEvolution.generate(scale.s_max_mib, seed=seed, params=params)
+
+
+def ideal_preallocation_nodes(
+    evolution: WorkingSetEvolution,
+    scale: EvaluationScale,
+    model: SpeedupModel = PAPER_SPEEDUP_MODEL,
+) -> int:
+    """The best static guess assuming a-posteriori knowledge (Section 5.1.1).
+
+    This is the equivalent static allocation for the target efficiency; the
+    overcommit factor multiplies it.  When no equivalent static allocation
+    exists the peak dynamic requirement is used instead.
+    """
+    result = equivalent_static_allocation(evolution, scale.target_efficiency, model)
+    if result is not None:
+        return max(1, int(round(result.n_eq)))
+    # Fall back to the peak requirement of the dynamic allocation.
+    peak = model.nodes_for_efficiency(evolution.peak_size_mib, scale.target_efficiency)
+    return max(1, peak)
+
+
+def run_scenario(
+    scale: EvaluationScale,
+    seed: int = 0,
+    overcommit: float = 1.0,
+    announce_interval: float = 0.0,
+    static_allocation: bool = False,
+    psa_task_durations: Sequence[float] = None,
+    strict_equipartition: bool = False,
+    speedup_model: SpeedupModel = PAPER_SPEEDUP_MODEL,
+    evolution: Optional[WorkingSetEvolution] = None,
+) -> ScenarioResult:
+    """Run one AMR + PSA(s) scenario and collect its metrics.
+
+    Parameters mirror the paper's experiment knobs: the *overcommit* factor
+    scales the user's pre-allocation guess (Figure 9), *announce_interval*
+    switches between spontaneous and announced updates (Figure 10),
+    *psa_task_durations* selects one or two PSAs (Figure 11) and
+    *strict_equipartition* selects the baseline sharing policy.
+    """
+    if overcommit <= 0:
+        raise ValueError("overcommit must be positive")
+    if psa_task_durations is None:
+        psa_task_durations = (scale.psa1_task_duration,)
+
+    if evolution is None:
+        evolution = build_evolution(scale, seed=seed, model=speedup_model)
+    ideal = ideal_preallocation_nodes(evolution, scale, speedup_model)
+    preallocation = max(1, int(round(ideal * overcommit)))
+    cluster_nodes = max(preallocation + 1, int(math.ceil(preallocation * scale.cluster_headroom)))
+
+    simulator = Simulator()
+    platform = Platform.single_cluster(cluster_nodes)
+    rms = CooRMv2(
+        platform,
+        simulator,
+        rescheduling_interval=scale.rescheduling_interval,
+        strict_equipartition=strict_equipartition,
+    )
+
+    amr = AmrApplication(
+        name="amr",
+        evolution=evolution,
+        preallocation_nodes=preallocation,
+        target_efficiency=scale.target_efficiency,
+        announce_interval=announce_interval,
+        static_allocation=static_allocation,
+        speedup_model=speedup_model,
+    )
+    psas = [
+        ParameterSweepApplication(f"psa{i + 1}", task_duration=duration)
+        for i, duration in enumerate(psa_task_durations)
+    ]
+    amr.on_finished = lambda _app: [psa.shutdown() for psa in psas]
+
+    amr.connect(rms)
+    for psa in psas:
+        psa.connect(rms)
+
+    simulator.run()
+
+    metrics = SimulationMetrics.collect(rms, amr=amr, psas=psas)
+    return ScenarioResult(
+        metrics=metrics,
+        amr=amr,
+        psas=psas,
+        rms=rms,
+        ideal_preallocation=ideal,
+        cluster_nodes=cluster_nodes,
+    )

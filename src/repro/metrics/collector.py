@@ -1,0 +1,147 @@
+"""Metrics extracted from a finished simulation.
+
+The evaluation section of the paper reports three families of quantities:
+
+* **AMR used resources** -- node-seconds effectively allocated to the evolving
+  application (Figure 9);
+* **PSA waste** -- node-seconds of killed parameter-sweep tasks (Figures 9
+  and 10), also expressed as a percentage of the platform capacity;
+* **percent of used resources** -- node-seconds allocated to applications
+  minus the PSA waste, as a fraction of the total node-seconds offered by the
+  platform over the measurement horizon (Figures 10 and 11).
+
+:class:`SimulationMetrics` computes all of them from the RMS accountant and
+the application objects, so every experiment and benchmark shares one
+definition of every metric.
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..apps.nea import AmrApplication
+from ..apps.psa import ParameterSweepApplication
+from ..core.rms import CooRMv2
+from ..core.types import RequestType, Time
+
+__all__ = ["SimulationMetrics", "summarize_runs"]
+
+
+@dataclass
+class SimulationMetrics:
+    """All headline metrics of one simulation run."""
+
+    #: Measurement horizon (seconds): usually the AMR's computation time.
+    horizon: float
+    #: Total node-seconds the platform offered over the horizon.
+    capacity_node_seconds: float
+    #: Node-seconds allocated to the evolving application (non-preemptible).
+    amr_used_node_seconds: float
+    #: Wall-clock time of the evolving application's computation.
+    amr_end_time: float
+    #: Node-seconds of killed PSA tasks.
+    psa_waste_node_seconds: float
+    #: Node-seconds of completed PSA tasks.
+    psa_completed_node_seconds: float
+    #: Node-seconds allocated to every application (any request type but PA).
+    total_allocated_node_seconds: float
+
+    @property
+    def psa_waste_percent(self) -> float:
+        """PSA waste as a percentage of the platform capacity."""
+        if self.capacity_node_seconds <= 0:
+            return 0.0
+        return 100.0 * self.psa_waste_node_seconds / self.capacity_node_seconds
+
+    @property
+    def used_resources_percent(self) -> float:
+        """Percent of used resources as defined in Section 5.3."""
+        if self.capacity_node_seconds <= 0:
+            return 0.0
+        useful = self.total_allocated_node_seconds - self.psa_waste_node_seconds
+        return 100.0 * useful / self.capacity_node_seconds
+
+    @classmethod
+    def collect(
+        cls,
+        rms: CooRMv2,
+        amr: Optional[AmrApplication] = None,
+        psas: Sequence[ParameterSweepApplication] = (),
+        horizon: Optional[float] = None,
+    ) -> "SimulationMetrics":
+        """Build the metrics from a finished simulation.
+
+        The horizon defaults to the AMR's computation time (from its first
+        allocation to its completion), which is how the paper normalises the
+        "percent of used resources".
+        """
+        window_start = 0.0
+        if amr is not None and not math.isnan(amr.computation_started_at):
+            window_start = amr.computation_started_at
+        if horizon is None:
+            if amr is not None and amr.finished():
+                horizon = amr.computation_time()
+            else:
+                horizon = rms.now - window_start
+        window_end = window_start + horizon
+        capacity = rms.total_nodes() * horizon
+
+        def clipped(record) -> float:
+            """Node-seconds of one allocation record inside the window."""
+            overlap = min(record.end, window_end) - max(record.start, window_start)
+            return record.node_count * max(0.0, overlap)
+
+        total_allocated = sum(
+            clipped(rec)
+            for rec in rms.accountant.records
+            if rec.rtype is not RequestType.PREALLOCATION
+        )
+
+        amr_used = 0.0
+        amr_end = math.nan
+        if amr is not None:
+            amr_used = sum(
+                clipped(rec)
+                for rec in rms.accountant.records
+                if rec.app_id == amr.name and rec.rtype is RequestType.NON_PREEMPTIBLE
+            )
+            if amr_used == 0.0:
+                amr_used = amr.used_node_seconds
+            amr_end = amr.computation_time()
+
+        waste = sum(p.stats.waste_node_seconds for p in psas)
+        completed = sum(p.stats.completed_node_seconds for p in psas)
+
+        return cls(
+            horizon=horizon,
+            capacity_node_seconds=capacity,
+            amr_used_node_seconds=amr_used,
+            amr_end_time=amr_end,
+            psa_waste_node_seconds=waste,
+            psa_completed_node_seconds=completed,
+            total_allocated_node_seconds=total_allocated,
+        )
+
+
+def summarize_runs(metrics: Iterable[SimulationMetrics]) -> Dict[str, float]:
+    """Median-based summary over repeated runs (the paper plots medians)."""
+    runs: List[SimulationMetrics] = list(metrics)
+    if not runs:
+        return {}
+
+    def median(values: List[float]) -> float:
+        values = sorted(values)
+        n = len(values)
+        mid = n // 2
+        if n % 2:
+            return values[mid]
+        return 0.5 * (values[mid - 1] + values[mid])
+
+    return {
+        "amr_used_node_seconds": median([m.amr_used_node_seconds for m in runs]),
+        "amr_end_time": median([m.amr_end_time for m in runs]),
+        "psa_waste_node_seconds": median([m.psa_waste_node_seconds for m in runs]),
+        "psa_waste_percent": median([m.psa_waste_percent for m in runs]),
+        "used_resources_percent": median([m.used_resources_percent for m in runs]),
+    }

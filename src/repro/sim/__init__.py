@@ -1,0 +1,5 @@
+"""Discrete-event simulation substrate used by the evaluation."""
+from .engine import EventHandle, Process, Simulator
+from .randomness import RandomSource, spawn_streams
+
+__all__ = ["EventHandle", "Process", "Simulator", "RandomSource", "spawn_streams"]

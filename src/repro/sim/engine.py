@@ -1,0 +1,202 @@
+"""A small discrete-event simulation engine.
+
+The paper's evaluation is driven by a discrete-event simulator ("we have
+replaced remote calls with direct function calls and calls to sleep() with
+simulator events", Section 5).  This module provides that substrate: a
+priority-queue of timestamped events, a simulation clock, callback scheduling
+and simpy-style generator processes (``yield <delay>`` suspends the process
+for that many simulated seconds).
+
+The engine is deterministic: events at equal times fire in scheduling order.
+"""
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from ..core.errors import SimulationError
+from ..core.types import Time
+
+__all__ = ["EventHandle", "Simulator", "Process"]
+
+
+class EventHandle:
+    """A scheduled callback; can be cancelled before it fires."""
+
+    __slots__ = ("time", "seq", "callback", "args", "kwargs", "cancelled", "fired")
+
+    def __init__(self, time: Time, seq: int, callback: Callable, args: tuple, kwargs: dict):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.kwargs = kwargs
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        self.cancelled = True
+
+    def pending(self) -> bool:
+        return not self.cancelled and not self.fired
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"EventHandle(t={self.time:g}, {state}, {self.callback!r})"
+
+
+class Process:
+    """A generator-based simulated process.
+
+    The generator may ``yield`` a non-negative number (sleep that many
+    simulated seconds) or ``None`` (yield control, resume immediately).  The
+    process ends when the generator returns.
+    """
+
+    def __init__(self, simulator: "Simulator", generator: Generator, name: str = ""):
+        self.simulator = simulator
+        self.generator = generator
+        self.name = name or repr(generator)
+        self.finished = False
+        self._resume_handle: Optional[EventHandle] = None
+
+    def _step(self) -> None:
+        if self.finished:
+            return
+        try:
+            delay = next(self.generator)
+        except StopIteration:
+            self.finished = True
+            return
+        if delay is None:
+            delay = 0.0
+        if delay < 0:
+            raise SimulationError(f"process {self.name!r} yielded a negative delay")
+        self._resume_handle = self.simulator.schedule(delay, self._step)
+
+    def interrupt(self) -> None:
+        """Stop the process; its pending resume event is cancelled."""
+        self.finished = True
+        if self._resume_handle is not None:
+            self._resume_handle.cancel()
+
+    def __repr__(self) -> str:
+        state = "finished" if self.finished else "running"
+        return f"Process({self.name!r}, {state})"
+
+
+class Simulator:
+    """The discrete-event simulation core."""
+
+    def __init__(self, start_time: Time = 0.0):
+        self._now: Time = float(start_time)
+        self._queue: List[EventHandle] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._processed = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> Time:
+        """The current simulated time."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events fired so far (diagnostic)."""
+        return self._processed
+
+    def empty(self) -> bool:
+        """True when no pending event remains."""
+        return not any(e.pending() for e in self._queue)
+
+    def peek(self) -> Time:
+        """Time of the next pending event, or ``inf`` if there is none."""
+        self._drop_dead_events()
+        return self._queue[0].time if self._queue else math.inf
+
+    # ------------------------------------------------------------------ #
+    def schedule(self, delay: Time, callback: Callable, *args: Any, **kwargs: Any) -> EventHandle:
+        """Schedule *callback* to run after *delay* simulated seconds."""
+        if delay < 0:
+            raise SimulationError("cannot schedule an event in the past")
+        return self.schedule_at(self._now + delay, callback, *args, **kwargs)
+
+    def schedule_at(self, time: Time, callback: Callable, *args: Any, **kwargs: Any) -> EventHandle:
+        """Schedule *callback* to run at absolute simulated time *time*."""
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule at t={time:g}, the clock is already at {self._now:g}"
+            )
+        handle = EventHandle(max(time, self._now), next(self._seq), callback, args, kwargs)
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a generator-based :class:`Process` immediately."""
+        proc = Process(self, generator, name)
+        self.schedule(0.0, proc._step)
+        return proc
+
+    # ------------------------------------------------------------------ #
+    def _drop_dead_events(self) -> None:
+        while self._queue and (self._queue[0].cancelled or self._queue[0].fired):
+            heapq.heappop(self._queue)
+
+    def step(self) -> bool:
+        """Fire the next pending event; returns False if none remained."""
+        self._drop_dead_events()
+        if not self._queue:
+            return False
+        handle = heapq.heappop(self._queue)
+        if handle.time < self._now - 1e-9:
+            raise SimulationError("event queue went back in time")
+        self._now = max(self._now, handle.time)
+        handle.fired = True
+        self._processed += 1
+        handle.callback(*handle.args, **handle.kwargs)
+        return True
+
+    def run(self, until: Time = math.inf, max_events: int = 10_000_000) -> Time:
+        """Run until the queue drains or the clock passes *until*.
+
+        Returns the simulation time when the run stopped.  *max_events*
+        guards against accidental infinite event loops.
+        """
+        if self._running:
+            raise SimulationError("the simulator is already running (re-entrant run())")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                self._drop_dead_events()
+                if not self._queue:
+                    break
+                if self._queue[0].time > until:
+                    self._now = until if math.isfinite(until) else self._now
+                    break
+                if not self.step():
+                    break
+                fired += 1
+                if fired > max_events:
+                    raise SimulationError(
+                        f"more than {max_events} events fired; "
+                        "likely an infinite scheduling loop"
+                    )
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_empty(self) -> Time:
+        """Run until no pending events remain."""
+        return self.run(math.inf)
+
+    def __repr__(self) -> str:
+        pending = sum(1 for e in self._queue if e.pending())
+        return f"Simulator(now={self._now:g}, pending={pending})"

@@ -1,0 +1,61 @@
+"""Seeded random-number utilities for reproducible simulations.
+
+All stochastic components of the library (the AMR working-set model, workload
+generators, experiment replications) draw their randomness through
+:class:`RandomSource` so that every experiment is exactly reproducible from a
+single integer seed.
+"""
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["RandomSource", "spawn_streams"]
+
+
+class RandomSource:
+    """Thin, documented wrapper around :class:`numpy.random.Generator`."""
+
+    def __init__(self, seed: Optional[int] = None):
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The underlying numpy generator (for vectorised draws)."""
+        return self._rng
+
+    def uniform_int(self, low: int, high: int) -> int:
+        """Uniform integer in the closed interval ``[low, high]``."""
+        return int(self._rng.integers(low, high + 1))
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        return float(self._rng.uniform(low, high))
+
+    def gaussian(self, mean: float = 0.0, std: float = 1.0) -> float:
+        return float(self._rng.normal(mean, std))
+
+    def gaussian_array(self, mean: float, std: float, size: int) -> np.ndarray:
+        return self._rng.normal(mean, std, size)
+
+    def exponential(self, mean: float) -> float:
+        return float(self._rng.exponential(mean))
+
+    def lognormal(self, mean: float, sigma: float) -> float:
+        return float(self._rng.lognormal(mean, sigma))
+
+    def choice(self, options: Sequence):
+        return options[int(self._rng.integers(0, len(options)))]
+
+    def spawn(self) -> "RandomSource":
+        """Derive an independent child stream (stable under numpy spawning)."""
+        child_seed = int(self._rng.integers(0, 2**31 - 1))
+        return RandomSource(child_seed)
+
+
+def spawn_streams(seed: Optional[int], count: int) -> Iterator[RandomSource]:
+    """Yield *count* independent :class:`RandomSource` streams from one seed."""
+    root = RandomSource(seed)
+    for _ in range(count):
+        yield root.spawn()

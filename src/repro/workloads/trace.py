@@ -1,0 +1,66 @@
+"""Reading and writing rigid-job traces in a minimal SWF-like format.
+
+The Parallel Workloads Archive's Standard Workload Format (SWF) describes one
+job per line with whitespace-separated fields.  This module supports the four
+fields the simulator needs -- job id, submit time, requested node count,
+requested runtime -- plus ``#`` comments, so externally produced traces can
+be replayed against the RMS and generated workloads can be saved for
+reproducibility.
+"""
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from ..core.errors import WorkloadError
+from .generator import RigidJobSpec
+
+__all__ = ["dump_trace", "load_trace", "dumps_trace", "loads_trace"]
+
+
+def dumps_trace(jobs: Iterable[RigidJobSpec]) -> str:
+    """Serialise jobs to the text format (one ``id submit nodes runtime`` line each)."""
+    lines = ["# job_id submit_time node_count duration"]
+    for job in jobs:
+        lines.append(
+            f"{job.job_id} {job.submit_time:.3f} {job.node_count} {job.duration:.3f}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def loads_trace(text: str) -> List[RigidJobSpec]:
+    """Parse the text format produced by :func:`dumps_trace`."""
+    jobs: List[RigidJobSpec] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 4:
+            raise WorkloadError(f"line {lineno}: expected 4 fields, got {len(parts)}")
+        job_id, submit_s, nodes_s, duration_s = parts
+        try:
+            submit = float(submit_s)
+            nodes = int(nodes_s)
+            duration = float(duration_s)
+        except ValueError as exc:
+            raise WorkloadError(f"line {lineno}: {exc}") from exc
+        if submit < 0 or nodes <= 0 or duration <= 0:
+            raise WorkloadError(f"line {lineno}: fields out of range")
+        jobs.append(
+            RigidJobSpec(
+                job_id=job_id, submit_time=submit, node_count=nodes, duration=duration
+            )
+        )
+    jobs.sort(key=lambda j: j.submit_time)
+    return jobs
+
+
+def dump_trace(jobs: Iterable[RigidJobSpec], path: Union[str, Path]) -> None:
+    """Write a trace file."""
+    Path(path).write_text(dumps_trace(jobs), encoding="utf-8")
+
+
+def load_trace(path: Union[str, Path]) -> List[RigidJobSpec]:
+    """Read a trace file."""
+    return loads_trace(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,46 @@
+"""Shared fixtures of the test suite."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Platform
+from repro.core import CooRMv2
+from repro.models import SpeedupModel, WorkingSetEvolution
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def simulator() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def platform() -> Platform:
+    return Platform.single_cluster(64)
+
+
+@pytest.fixture
+def rms(platform, simulator) -> CooRMv2:
+    return CooRMv2(platform, simulator, rescheduling_interval=1.0)
+
+
+@pytest.fixture
+def speedup_model() -> SpeedupModel:
+    return SpeedupModel()
+
+
+@pytest.fixture
+def small_evolution() -> WorkingSetEvolution:
+    """A deterministic, linearly growing working set (20 steps, up to ~100 GiB)."""
+    return WorkingSetEvolution(np.linspace(5_000.0, 100_000.0, 20))
+
+
+def make_rms(node_count: int = 64, strict: bool = False, interval: float = 1.0):
+    """Build a (simulator, platform, rms) triple for ad-hoc scenarios."""
+    simulator = Simulator()
+    platform = Platform.single_cluster(node_count)
+    rms = CooRMv2(
+        platform, simulator, rescheduling_interval=interval, strict_equipartition=strict
+    )
+    return simulator, platform, rms

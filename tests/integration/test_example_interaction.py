@@ -1,0 +1,176 @@
+"""Integration test replaying the paper's example interaction (Figure 8).
+
+One non-predictably evolving application (NEA) and one malleable application
+share the RMS.  The NEA pre-allocates, requests nodes inside the
+pre-allocation and later performs a spontaneous update; the malleable
+application fills the unused resources with a preemptible request and
+immediately frees nodes when the NEA's update needs them.
+"""
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cluster import Platform
+from repro.core import (
+    CooRMv2,
+    RelatedHow,
+    Request,
+    RequestDone,
+    RequestStarted,
+    RequestSubmitted,
+    RequestType,
+)
+from repro.sim import Simulator
+
+
+class ScriptedNea:
+    """The evolving application of Figure 8, driven explicitly by the test."""
+
+    def __init__(self, name="nea"):
+        self.name = name
+        self.views = []
+        self.started = []
+
+    def on_views(self, non_preemptive, preemptive):
+        self.views.append((non_preemptive, preemptive))
+
+    def on_start(self, request, node_ids):
+        self.started.append((request, node_ids))
+
+    def on_killed(self, reason):  # pragma: no cover - not expected here
+        raise AssertionError(f"NEA killed: {reason}")
+
+
+class CooperativeMalleable:
+    """A malleable application that tracks its preemptive view exactly."""
+
+    def __init__(self, rms, name="malleable"):
+        self.rms = rms
+        self.name = name
+        self.request = None
+        self.releases = 0
+
+    def on_views(self, non_preemptive, preemptive):
+        allowed = int(preemptive["cluster0"].value_at(self.rms.now))
+        if self.request is None:
+            self.request = self.rms.submit(
+                self.name,
+                Request("cluster0", allowed, math.inf, RequestType.PREEMPTIBLE),
+            )
+            return
+        if not self.request.started():
+            return
+        held = len(self.request.node_ids)
+        if allowed < held:
+            # Release immediately, as the protocol requires.
+            surplus = sorted(self.request.node_ids)[allowed:]
+            new_request = self.rms.submit(
+                self.name,
+                Request(
+                    "cluster0", allowed, math.inf, RequestType.PREEMPTIBLE,
+                    related_how=RelatedHow.NEXT, related_to=self.request,
+                ),
+            )
+            self.rms.done(self.name, self.request, released_node_ids=surplus)
+            self.request = new_request
+            self.releases += 1
+
+    def on_start(self, request, node_ids):
+        self.request = request
+
+    def on_killed(self, reason):  # pragma: no cover - not expected here
+        raise AssertionError(f"malleable killed: {reason}")
+
+
+class TestFigure8Interaction:
+    def test_full_protocol_trace(self):
+        sim = Simulator()
+        platform = Platform.single_cluster(14)
+        rms = CooRMv2(platform, sim, rescheduling_interval=1.0)
+
+        # Steps 1-2: the NEA connects and receives its views.
+        nea = ScriptedNea()
+        rms.connect(nea, "nea")
+        sim.run(until=2.0)
+        assert len(nea.views) == 1
+
+        # Steps 3-5: pre-allocation plus a first non-preemptible request,
+        # which is immediately served.
+        prealloc = rms.submit("nea", Request("cluster0", 10, math.inf, RequestType.PREALLOCATION))
+        first = rms.submit("nea", Request("cluster0", 4, math.inf, RequestType.NON_PREEMPTIBLE))
+        sim.run(until=5.0)
+        assert first.started()
+        assert len(first.node_ids) == 4
+        assert prealloc.started()
+
+        # Steps 6-9: the malleable application connects and fills the rest
+        # (including the pre-allocated but unused nodes).
+        malleable = CooperativeMalleable(rms)
+        rms.connect(malleable, "malleable")
+        sim.run(until=10.0)
+        assert malleable.request.started()
+        assert len(malleable.request.node_ids) == 10  # 14 - 4 non-preemptible
+
+        # Steps 10-11: the NEA performs a spontaneous update to 8 nodes.
+        second = rms.submit(
+            "nea",
+            Request(
+                "cluster0", 8, math.inf, RequestType.NON_PREEMPTIBLE,
+                related_how=RelatedHow.NEXT, related_to=first,
+            ),
+        )
+        rms.done("nea", first)
+
+        # Steps 12-15: the malleable application is informed, frees nodes and
+        # the RMS allocates them to the NEA.
+        sim.run(until=20.0)
+        assert malleable.releases >= 1
+        assert second.started()
+        assert len(second.node_ids) == 8
+        assert set(first.node_ids).issubset(set(second.node_ids)) or len(second.node_ids) == 8
+        assert len(malleable.request.node_ids) == 6  # 14 - 8
+
+        # The protocol trace contains the expected message kinds in order.
+        kinds = [type(e).__name__ for e in rms.event_log.for_app("nea")]
+        assert kinds[0] == "Connected"
+        assert "RequestSubmitted" in kinds
+        assert "RequestStarted" in kinds
+        assert "RequestDone" in kinds
+        # Conservation at all times: never more nodes allocated than exist.
+        assert platform.cluster("cluster0").allocated_count() <= 14
+
+    def test_preallocation_guarantees_the_update(self):
+        """Resources inside a pre-allocation are always available for updates,
+        even if another application would like them non-preemptibly."""
+        sim = Simulator()
+        platform = Platform.single_cluster(12)
+        rms = CooRMv2(platform, sim, rescheduling_interval=1.0)
+
+        nea = ScriptedNea()
+        rms.connect(nea, "nea")
+        prealloc = rms.submit("nea", Request("cluster0", 10, math.inf, RequestType.PREALLOCATION))
+        first = rms.submit("nea", Request("cluster0", 4, math.inf, RequestType.NON_PREEMPTIBLE))
+        sim.run(until=5.0)
+
+        # A rigid competitor asks for 6 nodes non-preemptibly: only 2 nodes
+        # are outside the pre-allocation, so it must wait.
+        competitor = ScriptedNea("rigid")
+        rms.connect(competitor, "rigid")
+        blocked = rms.submit("rigid", Request("cluster0", 6, 100.0, RequestType.NON_PREEMPTIBLE))
+        sim.run(until=10.0)
+        assert not blocked.started()
+
+        # The NEA grows to 10 nodes inside its pre-allocation: guaranteed.
+        growth = rms.submit(
+            "nea",
+            Request(
+                "cluster0", 10, math.inf, RequestType.NON_PREEMPTIBLE,
+                related_how=RelatedHow.NEXT, related_to=first,
+            ),
+        )
+        rms.done("nea", first)
+        sim.run(until=20.0)
+        assert growth.started()
+        assert len(growth.node_ids) == 10

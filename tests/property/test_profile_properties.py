@@ -1,0 +1,124 @@
+"""Property-based tests of the step-function profile algebra.
+
+The profile is the data structure every scheduling decision rests on, so its
+algebraic invariants are checked with hypothesis-generated inputs rather than
+hand-picked examples.
+"""
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import StepFunction
+
+
+@st.composite
+def step_functions(draw, max_value: int = 64, max_segments: int = 6, max_time: float = 1000.0):
+    """Random non-negative integer-valued profiles with a few segments."""
+    n_segments = draw(st.integers(min_value=1, max_value=max_segments))
+    durations = draw(
+        st.lists(
+            st.floats(min_value=1.0, max_value=max_time, allow_nan=False),
+            min_size=n_segments,
+            max_size=n_segments,
+        )
+    )
+    values = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=max_value),
+            min_size=n_segments,
+            max_size=n_segments,
+        )
+    )
+    return StepFunction.from_duration_pairs(list(zip(durations, values)))
+
+
+times = st.floats(min_value=0.0, max_value=5000.0, allow_nan=False)
+
+
+class TestAlgebraInvariants:
+    @given(a=step_functions(), b=step_functions(), t=times)
+    def test_addition_is_pointwise(self, a, b, t):
+        assert (a + b).value_at(t) == a.value_at(t) + b.value_at(t)
+
+    @given(a=step_functions(), b=step_functions(), t=times)
+    def test_subtraction_inverts_addition(self, a, b, t):
+        assert ((a + b) - b).value_at(t) == a.value_at(t)
+
+    @given(a=step_functions(), b=step_functions(), t=times)
+    def test_union_dominates_both_operands(self, a, b, t):
+        u = a.maximum(b)
+        assert u.value_at(t) >= a.value_at(t)
+        assert u.value_at(t) >= b.value_at(t)
+        assert u.value_at(t) == max(a.value_at(t), b.value_at(t))
+
+    @given(a=step_functions(), t=times)
+    def test_clip_low_never_below_floor(self, a, t):
+        shifted = a.shift_value(-10)
+        assert shifted.clip_low(0.0).value_at(t) >= 0.0
+
+    @given(a=step_functions())
+    def test_min_over_full_horizon_equals_min_value(self, a):
+        last = a.times[-1] + 1.0
+        assert a.min_over(0.0, last + 1.0) == a.min_value()
+
+    @given(a=step_functions(), b=step_functions())
+    def test_integral_is_additive(self, a, b):
+        horizon = max(a.times[-1], b.times[-1]) + 10.0
+        total = (a + b).integrate(0, horizon)
+        assert math.isclose(
+            total, a.integrate(0, horizon) + b.integrate(0, horizon), rel_tol=1e-9, abs_tol=1e-6
+        )
+
+    @given(a=step_functions())
+    def test_duration_pair_roundtrip(self, a):
+        horizon = a.times[-1] + 5.0
+        rebuilt = StepFunction.from_duration_pairs(a.to_duration_pairs(horizon))
+        for t in list(a.times) + [horizon / 2]:
+            if t < horizon:
+                assert rebuilt.value_at(t) == a.value_at(t)
+
+
+class TestFindHoleInvariants:
+    @given(
+        a=step_functions(),
+        n=st.integers(min_value=1, max_value=32),
+        duration=st.floats(min_value=1.0, max_value=500.0, allow_nan=False),
+        earliest=st.floats(min_value=0.0, max_value=2000.0, allow_nan=False),
+    )
+    def test_hole_is_feasible_and_not_too_early(self, a, n, duration, earliest):
+        start = a.find_hole(n, duration, earliest)
+        if math.isinf(start):
+            # Infeasible: the profile must drop below n somewhere after any
+            # candidate start, in particular its eventual constant tail must
+            # be below n.
+            assert a.values[-1] < n
+        else:
+            assert start >= earliest
+            assert a.min_over(start, start + duration) >= n
+
+    @given(
+        a=step_functions(),
+        n=st.integers(min_value=1, max_value=32),
+        duration=st.floats(min_value=1.0, max_value=500.0, allow_nan=False),
+    )
+    def test_hole_is_earliest_among_breakpoints(self, a, n, duration):
+        start = a.find_hole(n, duration, 0.0)
+        if math.isinf(start):
+            return
+        # No strictly earlier breakpoint (or time zero) admits the rectangle.
+        for candidate in {t for t in [0.0, *a.times] if t < start}:
+            assert a.min_over(candidate, candidate + duration) < n
+
+    @given(
+        a=step_functions(),
+        n=st.integers(min_value=0, max_value=32),
+        start=times,
+        duration=st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+    )
+    def test_alloc_limit_bounds(self, a, n, start, duration):
+        granted = a.alloc_limit(start, duration, n)
+        assert 0 <= granted <= n
+        if duration > 0:
+            assert granted <= a.min_over(start, start + duration) + 1e-9

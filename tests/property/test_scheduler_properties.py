@@ -1,0 +1,121 @@
+"""Property-based tests of the main scheduler's safety invariants.
+
+Whatever mix of pre-allocations, non-preemptible and preemptible requests the
+applications submit, a scheduling pass must never plan to use more nodes than
+the cluster has, must start every request it reports as startable, and must
+always serve non-preemptible requests inside somebody's (pre-)allocation
+budget.
+"""
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ApplicationRequests,
+    Request,
+    RequestType,
+    Scheduler,
+    to_view,
+    fit,
+)
+
+CLUSTER_NODES = 32
+
+
+@st.composite
+def application_specs(draw):
+    """A few applications, each with a random mix of requests."""
+    n_apps = draw(st.integers(min_value=1, max_value=4))
+    specs = []
+    for i in range(n_apps):
+        has_pa = draw(st.booleans())
+        pa_nodes = draw(st.integers(min_value=1, max_value=CLUSTER_NODES)) if has_pa else 0
+        np_nodes = draw(st.integers(min_value=0, max_value=CLUSTER_NODES))
+        p_nodes = draw(st.integers(min_value=0, max_value=CLUSTER_NODES))
+        np_duration = draw(st.floats(min_value=10.0, max_value=1000.0, allow_nan=False))
+        specs.append((pa_nodes, np_nodes, p_nodes, np_duration))
+    return specs
+
+
+def build_applications(specs):
+    applications = {}
+    for i, (pa_nodes, np_nodes, p_nodes, np_duration) in enumerate(specs):
+        app = ApplicationRequests(f"app{i}")
+        if pa_nodes:
+            app.add(Request("c0", pa_nodes, math.inf, RequestType.PREALLOCATION))
+        if np_nodes:
+            app.add(Request("c0", np_nodes, np_duration, RequestType.NON_PREEMPTIBLE))
+        if p_nodes:
+            app.add(Request("c0", p_nodes, math.inf, RequestType.PREEMPTIBLE))
+        applications[f"app{i}"] = app
+    return applications
+
+
+class TestSchedulerInvariants:
+    @given(specs=application_specs())
+    @settings(max_examples=60, deadline=None)
+    def test_planned_non_preemptible_usage_fits_the_cluster(self, specs):
+        applications = build_applications(specs)
+        scheduler = Scheduler({"c0": CLUSTER_NODES})
+        scheduler.schedule(applications, now=0.0)
+
+        # Rebuild the combined occupation of every scheduled pre-allocation
+        # and non-preemptible request.  Inside one application, non-preemptible
+        # requests live inside the pre-allocation, so the application's
+        # footprint is the pointwise maximum of the two; the footprints of
+        # different applications add up and must never exceed the cluster.
+        total = None
+        for app in applications.values():
+            footprint = None
+            for request_set in (app.preallocations, app.non_preemptible):
+                occ = None
+                for r in request_set:
+                    if math.isinf(r.scheduled_at) or r.n_alloc <= 0:
+                        continue
+                    rect = to_view([make_started_copy(r)])
+                    occ = rect if occ is None else occ + rect
+                if occ is not None:
+                    footprint = occ if footprint is None else footprint.union(occ)
+            if footprint is not None:
+                total = footprint if total is None else total + footprint
+        if total is not None:
+            assert total["c0"].max_value() <= CLUSTER_NODES + 1e-9
+
+    @given(specs=application_specs())
+    @settings(max_examples=60, deadline=None)
+    def test_to_start_requests_are_scheduled_now(self, specs):
+        applications = build_applications(specs)
+        scheduler = Scheduler({"c0": CLUSTER_NODES})
+        result = scheduler.schedule(applications, now=5.0)
+        for r in result.to_start:
+            assert r.scheduled_at <= 5.0 + 1e-6
+            assert not r.started()
+
+    @given(specs=application_specs())
+    @settings(max_examples=60, deadline=None)
+    def test_preemptive_views_never_exceed_free_capacity(self, specs):
+        applications = build_applications(specs)
+        scheduler = Scheduler({"c0": CLUSTER_NODES})
+        result = scheduler.schedule(applications, now=0.0)
+        for view in result.preemptive_views.values():
+            assert view["c0"].max_value() <= CLUSTER_NODES + 1e-9
+            assert view["c0"].min_value() >= -1e-9
+
+    @given(specs=application_specs())
+    @settings(max_examples=60, deadline=None)
+    def test_scheduling_is_deterministic(self, specs):
+        sched_a = Scheduler({"c0": CLUSTER_NODES}).schedule(build_applications(specs), now=0.0)
+        sched_b = Scheduler({"c0": CLUSTER_NODES}).schedule(build_applications(specs), now=0.0)
+        starts_a = sorted(r.node_count for r in sched_a.to_start)
+        starts_b = sorted(r.node_count for r in sched_b.to_start)
+        assert starts_a == starts_b
+
+
+def make_started_copy(request: Request) -> Request:
+    """A started clone used to turn a planned request into an occupation view."""
+    clone = request.clone_spec()
+    clone.n_alloc = request.n_alloc
+    clone.mark_started(request.scheduled_at)
+    return clone

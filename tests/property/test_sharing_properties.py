@@ -1,0 +1,96 @@
+"""Property-based tests of the resource-sharing primitives.
+
+Covers max-min fair allocation (the heart of ``eqSchedule``) and the
+Conservative Back-Filling queue: whatever the workload, capacity must never
+be oversubscribed and earlier reservations must never be delayed by later
+submissions.
+"""
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CbfJob, ConservativeBackfillQueue, max_min_fair
+
+demands_strategy = st.lists(st.integers(min_value=0, max_value=200), min_size=0, max_size=8)
+capacity_strategy = st.integers(min_value=0, max_value=300)
+
+
+class TestMaxMinFairProperties:
+    @given(demands=demands_strategy, capacity=capacity_strategy)
+    def test_never_exceeds_capacity_or_demand(self, demands, capacity):
+        alloc = max_min_fair(demands, capacity)
+        assert len(alloc) == len(demands)
+        assert sum(alloc) <= capacity
+        assert all(0 <= a <= d for a, d in zip(alloc, demands))
+
+    @given(demands=demands_strategy, capacity=capacity_strategy)
+    def test_work_conserving(self, demands, capacity):
+        """Capacity is only left unused when every demand is satisfied."""
+        alloc = max_min_fair(demands, capacity)
+        if sum(alloc) < capacity:
+            assert all(a == d for a, d in zip(alloc, demands))
+
+    @given(demands=demands_strategy, capacity=capacity_strategy)
+    def test_fairness(self, demands, capacity):
+        """An application gets less than another only if it asked for less.
+
+        Max-min fairness implies that if allocation[i] < allocation[j] then
+        application i's demand is fully satisfied.
+        """
+        alloc = max_min_fair(demands, capacity)
+        for i in range(len(alloc)):
+            for j in range(len(alloc)):
+                if alloc[i] < alloc[j]:
+                    assert alloc[i] == demands[i] or alloc[j] - alloc[i] <= 1
+
+
+@st.composite
+def job_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    jobs = []
+    for i in range(n):
+        jobs.append(
+            CbfJob(
+                job_id=f"j{i}",
+                node_count=draw(st.integers(min_value=1, max_value=16)),
+                duration=draw(st.floats(min_value=1.0, max_value=500.0, allow_nan=False)),
+                submit_time=draw(st.floats(min_value=0.0, max_value=100.0, allow_nan=False)),
+            )
+        )
+    return jobs
+
+
+class TestCbfProperties:
+    @given(jobs=job_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_capacity_never_oversubscribed(self, jobs):
+        queue = ConservativeBackfillQueue(16)
+        queue.submit_many(sorted(jobs, key=lambda j: j.submit_time))
+        # Check occupancy at every reservation boundary.
+        events = sorted({j.start_time for j in jobs} | {j.end_time for j in jobs})
+        for t in events:
+            busy = sum(
+                j.node_count for j in jobs if j.start_time <= t < j.end_time
+            )
+            assert busy <= 16
+
+    @given(jobs=job_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_jobs_never_start_before_submission(self, jobs):
+        queue = ConservativeBackfillQueue(16)
+        queue.submit_many(sorted(jobs, key=lambda j: j.submit_time))
+        for j in jobs:
+            assert j.start_time >= j.submit_time
+
+    @given(jobs=job_lists())
+    @settings(max_examples=30, deadline=None)
+    def test_later_submissions_never_delay_earlier_reservations(self, jobs):
+        ordered = sorted(jobs, key=lambda j: j.submit_time)
+        queue = ConservativeBackfillQueue(16)
+        starts_incremental = []
+        for idx, job in enumerate(ordered):
+            queue.submit(job)
+            starts_incremental.append(job.start_time)
+            # Reservations made earlier must not have moved.
+            for prev_idx in range(idx):
+                assert ordered[prev_idx].start_time == starts_incremental[prev_idx]

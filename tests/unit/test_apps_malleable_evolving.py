@@ -1,0 +1,137 @@
+"""Unit tests of malleable and fully-predictably evolving applications."""
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.apps import (
+    EvolutionPhase,
+    FullyPredictableEvolvingApplication,
+    MalleableApplication,
+    RigidApplication,
+    identity_selector,
+    power_of_two_selector,
+)
+from repro.cluster import Platform
+from repro.core import CooRMv2
+from repro.sim import Simulator
+
+
+def make_env(nodes=16):
+    sim = Simulator()
+    platform = Platform.single_cluster(nodes)
+    rms = CooRMv2(platform, sim, rescheduling_interval=1.0)
+    return sim, platform, rms
+
+
+class TestSelectors:
+    def test_power_of_two(self):
+        assert power_of_two_selector(0) == 0
+        assert power_of_two_selector(1) == 1
+        assert power_of_two_selector(36) == 32
+        assert power_of_two_selector(64) == 64
+
+    def test_identity(self):
+        assert identity_selector(-3) == 0
+        assert identity_selector(17) == 17
+
+
+class TestMalleableApplication:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            MalleableApplication("m", min_nodes=0, duration=10)
+        with pytest.raises(ValueError):
+            MalleableApplication("m", min_nodes=1, duration=0)
+
+    def test_min_plus_extra_on_an_empty_cluster(self):
+        sim, _, rms = make_env(nodes=16)
+        app = MalleableApplication("m", min_nodes=4, duration=200.0)
+        app.connect(rms)
+        sim.run(until=10.0)
+        assert app.min_request.started()
+        assert len(app.min_request.node_ids) == 4
+        # The malleable part fills (most of) the remaining nodes.
+        assert app.current_extra_nodes() >= 8
+        assert app.total_nodes() <= 16
+        sim.run()
+        assert app.finished()
+
+    def test_power_of_two_selector_limits_extra(self):
+        sim, _, rms = make_env(nodes=16)
+        app = MalleableApplication(
+            "m", min_nodes=4, duration=200.0, extra_selector=power_of_two_selector
+        )
+        app.connect(rms)
+        sim.run(until=10.0)
+        # 12 nodes are available for the extra part; a power-of-two
+        # application can only exploit 8 of them (paper Section 4).
+        assert app.current_extra_nodes() == 8
+
+    def test_releases_extra_when_a_rigid_job_arrives(self):
+        sim, _, rms = make_env(nodes=16)
+        app = MalleableApplication("m", min_nodes=4, duration=2000.0)
+        app.connect(rms)
+        sim.run(until=10.0)
+        extra_before = app.current_extra_nodes()
+        rigid = RigidApplication("rigid", node_count=8, duration=100.0)
+        rigid.connect(rms)
+        sim.run(until=50.0)
+        assert rigid.request.started()
+        assert app.current_extra_nodes() < extra_before
+        # After the rigid job finishes the malleable part grows back.
+        sim.run(until=400.0)
+        assert app.current_extra_nodes() >= extra_before - 4
+
+
+class TestFullyPredictableEvolvingApplication:
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            EvolutionPhase(node_count=0, duration=10)
+        with pytest.raises(ValueError):
+            EvolutionPhase(node_count=2, duration=0)
+        with pytest.raises(ValueError):
+            FullyPredictableEvolvingApplication("e", phases=[])
+
+    def test_growing_and_shrinking_phases(self):
+        sim, platform, rms = make_env(nodes=16)
+        phases = [
+            EvolutionPhase(node_count=2, duration=100.0),
+            EvolutionPhase(node_count=8, duration=100.0),
+            EvolutionPhase(node_count=4, duration=100.0),
+        ]
+        app = FullyPredictableEvolvingApplication("evolving", phases=phases)
+        app.connect(rms)
+        sim.run(until=50.0)
+        assert len(app.requests) == 3
+        assert len(app.requests[0].node_ids) == 2
+        sim.run(until=150.0)
+        assert app.requests[1].started()
+        assert len(app.requests[1].node_ids) == 8
+        # The first phase's nodes are part of the second phase's allocation.
+        assert set(app.requests[0].node_ids) | set(app.requests[1].node_ids) == set(
+            app.requests[1].node_ids
+        ) or len(app.requests[1].node_ids) == 8
+        sim.run(until=250.0)
+        assert app.requests[2].started()
+        assert len(app.requests[2].node_ids) == 4
+        sim.run()
+        assert app.finished()
+        assert platform.cluster("cluster0").free_count() == 16
+
+    def test_planned_metrics(self):
+        phases = [EvolutionPhase(2, 100.0), EvolutionPhase(4, 50.0)]
+        app = FullyPredictableEvolvingApplication("e", phases=phases)
+        assert app.planned_node_seconds() == pytest.approx(2 * 100 + 4 * 50)
+        assert app.planned_makespan() == pytest.approx(150.0)
+
+    def test_declared_evolution_is_visible_to_other_applications(self):
+        sim, _, rms = make_env(nodes=16)
+        phases = [EvolutionPhase(4, 100.0), EvolutionPhase(12, 100.0)]
+        app = FullyPredictableEvolvingApplication("evolving", phases=phases)
+        app.connect(rms)
+        sim.run(until=10.0)
+        # A second application's non-preemptive view shows the future growth:
+        # only 4 nodes will be free during the second phase.
+        other_view = rms.sessions["evolving"].last_non_preemptive_view
+        assert other_view is not None

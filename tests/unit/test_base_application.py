@@ -1,0 +1,123 @@
+"""Unit tests of the application base class (high-level update operations)."""
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.apps import BaseApplication
+from repro.cluster import Platform
+from repro.core import CooRMv2, ProtocolError, RequestType
+from repro.sim import Simulator
+
+
+def make_env(nodes=16):
+    sim = Simulator()
+    platform = Platform.single_cluster(nodes)
+    rms = CooRMv2(platform, sim, rescheduling_interval=1.0)
+    return sim, platform, rms
+
+
+class TestConnection:
+    def test_operations_require_connection(self):
+        app = BaseApplication("lonely")
+        with pytest.raises(ProtocolError):
+            _ = app.now
+        with pytest.raises(ProtocolError):
+            app.submit(1, 10.0, RequestType.NON_PREEMPTIBLE)
+
+    def test_connect_and_views(self):
+        sim, _, rms = make_env()
+        app = BaseApplication("app")
+        app.connect(rms)
+        sim.run(until=5.0)
+        assert app.non_preemptive_view is not None
+        assert app.preemptive_available_now() == 16
+        assert app.preemptive_available_min(1000.0) == 16
+        assert not app.finished()
+
+    def test_finish_fires_callback_and_disconnects(self):
+        sim, _, rms = make_env()
+        app = BaseApplication("app")
+        seen = []
+        app.on_finished = seen.append
+        app.connect(rms)
+        sim.run(until=5.0)
+        app.finish()
+        assert app.finished()
+        assert seen == [app]
+        assert app.makespan() >= 0.0
+        # finish() is idempotent.
+        app.finish()
+        assert seen == [app]
+
+    def test_on_killed_records_reason(self):
+        sim, _, rms = make_env()
+        app = BaseApplication("app")
+        app.connect(rms)
+        sim.run(until=5.0)
+        rms.kill("app", "because")
+        assert app.killed
+        assert app.kill_reason == "because"
+
+
+class TestHighLevelOperations:
+    def test_spontaneous_update_grow(self):
+        sim, platform, rms = make_env()
+        app = BaseApplication("app")
+        app.connect(rms)
+        sim.run(until=2.0)
+        first = app.submit(4, math.inf, RequestType.NON_PREEMPTIBLE)
+        sim.run(until=5.0)
+        second = app.spontaneous_update(first, 8)
+        sim.run(until=10.0)
+        assert first.finished()
+        assert second.started()
+        assert len(second.node_ids) == 8
+        assert platform.cluster("cluster0").free_count() == 8
+
+    def test_spontaneous_update_shrink_releases_surplus(self):
+        sim, platform, rms = make_env()
+        app = BaseApplication("app")
+        app.connect(rms)
+        sim.run(until=2.0)
+        first = app.submit(8, math.inf, RequestType.NON_PREEMPTIBLE)
+        sim.run(until=5.0)
+        second = app.spontaneous_update(first, 3)
+        sim.run(until=10.0)
+        assert second.started()
+        assert len(second.node_ids) == 3
+        assert set(second.node_ids).issubset(set(first.node_ids) | set(second.node_ids))
+        assert platform.cluster("cluster0").free_count() == 13
+
+    def test_announced_update_holds_current_allocation_during_the_interval(self):
+        sim, platform, rms = make_env()
+        app = BaseApplication("app")
+        app.connect(rms)
+        sim.run(until=2.0)
+        first = app.submit(4, math.inf, RequestType.NON_PREEMPTIBLE)
+        sim.run(until=5.0)
+        bridge, future = app.announced_update(first, 10, announce_interval=50.0)
+        sim.run(until=20.0)
+        # During the announce interval the application still holds 4 nodes.
+        assert bridge.started()
+        assert len(bridge.node_ids) == 4
+        assert not future.started()
+        sim.run(until=80.0)
+        # After the interval the new allocation is served.
+        assert future.started()
+        assert len(future.node_ids) == 10
+        assert platform.cluster("cluster0").free_count() == 6
+
+    def test_announced_update_with_zero_interval_is_spontaneous(self):
+        sim, _, rms = make_env()
+        app = BaseApplication("app")
+        app.connect(rms)
+        sim.run(until=2.0)
+        first = app.submit(4, math.inf, RequestType.NON_PREEMPTIBLE)
+        sim.run(until=5.0)
+        bridge, future = app.announced_update(first, 6, announce_interval=0.0)
+        assert bridge is future
+        sim.run(until=10.0)
+        assert future.started()
+        assert len(future.node_ids) == 6

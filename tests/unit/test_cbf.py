@@ -1,0 +1,85 @@
+"""Unit tests of the Conservative Back-Filling queue."""
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CapacityError, CbfJob, ConservativeBackfillQueue
+
+
+class TestCbfQueue:
+    def test_rejects_empty_cluster(self):
+        with pytest.raises(CapacityError):
+            ConservativeBackfillQueue(0)
+
+    def test_first_job_starts_immediately(self):
+        q = ConservativeBackfillQueue(16)
+        start = q.submit(CbfJob("j1", node_count=8, duration=100))
+        assert start == 0.0
+
+    def test_job_larger_than_cluster_rejected(self):
+        q = ConservativeBackfillQueue(16)
+        with pytest.raises(CapacityError):
+            q.submit(CbfJob("big", node_count=17, duration=10))
+
+    def test_fcfs_queuing(self):
+        q = ConservativeBackfillQueue(16)
+        q.submit(CbfJob("j1", 16, 100))
+        start2 = q.submit(CbfJob("j2", 16, 100))
+        assert start2 == pytest.approx(100.0)
+
+    def test_backfilling_small_job_jumps_ahead(self):
+        q = ConservativeBackfillQueue(16)
+        q.submit(CbfJob("wide", 12, 100))        # leaves 4 nodes free until t=100
+        q.submit(CbfJob("blocked", 16, 50))      # must wait for t=100
+        start3 = q.submit(CbfJob("small", 4, 50))
+        # The small job fits in the 4-node hole before the blocked job starts.
+        assert start3 == pytest.approx(0.0)
+
+    def test_backfilling_never_delays_existing_reservations(self):
+        q = ConservativeBackfillQueue(16)
+        q.submit(CbfJob("wide", 12, 100))
+        blocked = CbfJob("blocked", 16, 50)
+        q.submit(blocked)
+        # A job that would conflict with the blocked job's reservation cannot
+        # start before it even though nodes are free right now.
+        start = q.submit(CbfJob("long", 4, 200))
+        assert start >= 0.0
+        assert blocked.start_time == pytest.approx(100.0)
+
+    def test_submit_time_is_respected(self):
+        q = ConservativeBackfillQueue(8)
+        start = q.submit(CbfJob("late", 4, 10, submit_time=500.0))
+        assert start == pytest.approx(500.0)
+
+    def test_complete_early_releases_tail(self):
+        q = ConservativeBackfillQueue(8)
+        job = CbfJob("j1", 8, 100)
+        q.submit(job)
+        q.submit(CbfJob("j2", 8, 10))   # reserved at t=100
+        q.complete_early(job, now=20.0)
+        # New submissions can now backfill into [20, 100).
+        start = q.submit(CbfJob("j3", 8, 50))
+        assert start == pytest.approx(20.0)
+
+    def test_complete_early_requires_reservation(self):
+        q = ConservativeBackfillQueue(8)
+        with pytest.raises(CapacityError):
+            q.complete_early(CbfJob("ghost", 1, 1), now=0.0)
+
+    def test_metrics(self):
+        q = ConservativeBackfillQueue(10)
+        q.submit(CbfJob("a", 10, 100))
+        q.submit(CbfJob("b", 10, 100))
+        assert q.makespan() == pytest.approx(200.0)
+        assert q.mean_wait_time() == pytest.approx(50.0)
+        assert q.utilisation() == pytest.approx(1.0)
+
+    def test_utilisation_of_empty_queue_is_zero(self):
+        q = ConservativeBackfillQueue(10)
+        assert q.utilisation() == 0.0
+        assert q.mean_wait_time() == 0.0
+
+    def test_submit_many(self):
+        q = ConservativeBackfillQueue(4)
+        starts = q.submit_many([CbfJob("a", 4, 10), CbfJob("b", 4, 10)])
+        assert starts == [0.0, 10.0]

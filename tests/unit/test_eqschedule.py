@@ -1,0 +1,121 @@
+"""Unit tests of eqSchedule() and max-min fair sharing (paper Algorithm 3)."""
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Request,
+    RequestSet,
+    RequestType,
+    View,
+    eq_schedule,
+    max_min_fair,
+)
+
+
+def p_request(n, duration=float("inf"), cluster="c"):
+    return Request(cluster, n, duration, RequestType.PREEMPTIBLE)
+
+
+def p_set(*requests):
+    rs = RequestSet(RequestType.PREEMPTIBLE)
+    for r in requests:
+        rs.add(r)
+    return rs
+
+
+class TestMaxMinFair:
+    def test_enough_for_everyone(self):
+        assert max_min_fair([3, 5, 2], 20) == [3, 5, 2]
+
+    def test_equal_split_when_saturated(self):
+        assert max_min_fair([10, 10], 10) == [5, 5]
+
+    def test_small_demand_is_fully_served_first(self):
+        alloc = max_min_fair([2, 100], 10)
+        assert alloc[0] == 2
+        assert alloc[1] == 8
+
+    def test_never_exceeds_capacity_or_demand(self):
+        demands = [7, 1, 4, 9]
+        alloc = max_min_fair(demands, 12)
+        assert sum(alloc) <= 12
+        assert all(a <= d for a, d in zip(alloc, demands))
+
+    def test_zero_capacity(self):
+        assert max_min_fair([4, 4], 0) == [0, 0]
+
+    def test_empty_demands(self):
+        assert max_min_fair([], 10) == []
+
+
+class TestEqSchedule:
+    def test_single_application_gets_everything(self):
+        r = p_request(10)
+        views = eq_schedule({"a": p_set(r)}, View.constant({"c": 16}), not_before=0.0)
+        assert views["a"]["c"].value_at(0) == 16
+        assert r.scheduled_at == pytest.approx(0.0)
+        assert r.n_alloc == 10
+
+    def test_congested_split_is_fair(self):
+        r1, r2 = p_request(16), p_request(16)
+        views = eq_schedule(
+            {"a": p_set(r1), "b": p_set(r2)}, View.constant({"c": 16}), not_before=0.0
+        )
+        assert views["a"]["c"].value_at(0) == 8
+        assert views["b"]["c"].value_at(0) == 8
+        assert r1.n_alloc == 8
+        assert r2.n_alloc == 8
+
+    def test_filling_lets_one_app_use_unrequested_resources(self):
+        # Application "a" only wants 2 nodes; "b" should be offered the rest.
+        r1, r2 = p_request(2), p_request(16)
+        views = eq_schedule(
+            {"a": p_set(r1), "b": p_set(r2)}, View.constant({"c": 16}), not_before=0.0
+        )
+        assert views["b"]["c"].value_at(0) == 14
+        # "a" is never shown less than its equal partition.
+        assert views["a"]["c"].value_at(0) >= 8
+
+    def test_strict_mode_always_shows_equal_slice(self):
+        r1, r2 = p_request(2), p_request(16)
+        views = eq_schedule(
+            {"a": p_set(r1), "b": p_set(r2)},
+            View.constant({"c": 16}),
+            not_before=0.0,
+            strict=True,
+        )
+        assert views["a"]["c"].value_at(0) == 8
+        assert views["b"]["c"].value_at(0) == 8
+
+    def test_inactive_application_sees_its_potential_partition(self):
+        r1 = p_request(16)
+        empty = p_set()
+        views = eq_schedule(
+            {"busy": p_set(r1), "idle": empty}, View.constant({"c": 16}), not_before=0.0
+        )
+        # The idle application is shown what it would get if it became active
+        # (an equal partition), not zero.
+        assert views["idle"]["c"].value_at(0) >= 8
+
+    def test_views_track_availability_profile(self):
+        # Availability drops from 16 to 4 nodes at t=100.
+        available = View({"c": View.constant({"c": 16})["c"].subtract_rectangle(100, 1000, 12)})
+        r = p_request(16)
+        views = eq_schedule({"a": p_set(r)}, available, not_before=0.0)
+        assert views["a"]["c"].value_at(50) == 16
+        assert views["a"]["c"].value_at(150) == 4
+
+    def test_no_applications(self):
+        assert eq_schedule({}, View.constant({"c": 8}), not_before=0.0) == {}
+
+    def test_started_requests_keep_their_allocation_in_views(self):
+        r1 = p_request(10)
+        r1.mark_started(0.0)
+        r2 = p_request(10)
+        views = eq_schedule(
+            {"a": p_set(r1), "b": p_set(r2)}, View.constant({"c": 16}), not_before=0.0
+        )
+        # Congested: both should be shown a fair share.
+        assert views["a"]["c"].value_at(0) == 8
+        assert views["b"]["c"].value_at(0) == 8

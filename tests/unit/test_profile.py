@@ -1,0 +1,238 @@
+"""Unit tests of the step-function availability profiles."""
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import ProfileError, StepFunction
+
+
+class TestConstruction:
+    def test_default_is_zero(self):
+        s = StepFunction()
+        assert s.is_zero()
+        assert s.value_at(0) == 0
+        assert s.value_at(1e9) == 0
+
+    def test_constant(self):
+        s = StepFunction.constant(7)
+        assert s.value_at(0) == 7
+        assert s.value_at(12345.6) == 7
+        assert s.max_value() == 7
+        assert s.min_value() == 7
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(ProfileError):
+            StepFunction([1.0], [3.0])
+
+    def test_breakpoints_must_increase(self):
+        with pytest.raises(ProfileError):
+            StepFunction([0.0, 5.0, 5.0], [1.0, 2.0, 3.0])
+        with pytest.raises(ProfileError):
+            StepFunction([0.0, 5.0, 4.0], [1.0, 2.0, 3.0])
+
+    def test_lengths_must_match(self):
+        with pytest.raises(ProfileError):
+            StepFunction([0.0, 1.0], [1.0])
+
+    def test_infinite_breakpoint_rejected(self):
+        with pytest.raises(ProfileError):
+            StepFunction([0.0, math.inf], [1.0, 2.0])
+
+    def test_adjacent_equal_values_are_merged(self):
+        s = StepFunction([0.0, 10.0, 20.0], [5.0, 5.0, 3.0])
+        assert s.times == (0.0, 20.0)
+        assert s.values == (5.0, 3.0)
+
+    def test_from_duration_pairs_paper_example(self):
+        # The paper's example: 4 nodes for an hour, then 3 for an hour, then 0.
+        s = StepFunction.from_duration_pairs([(3600, 4), (3600, 3)])
+        assert s.value_at(1800) == 4
+        assert s.value_at(3600) == 3
+        assert s.value_at(7200) == 0
+
+    def test_from_duration_pairs_rejects_non_positive_durations(self):
+        with pytest.raises(ProfileError):
+            StepFunction.from_duration_pairs([(0, 4)])
+
+    def test_rectangle(self):
+        r = StepFunction.rectangle(10, 5, 3)
+        assert r.value_at(9.9) == 0
+        assert r.value_at(10) == 3
+        assert r.value_at(14.99) == 3
+        assert r.value_at(15) == 0
+
+    def test_rectangle_starting_at_zero(self):
+        r = StepFunction.rectangle(0, 5, 3)
+        assert r.value_at(0) == 3
+        assert r.value_at(5) == 0
+
+    def test_rectangle_infinite_duration(self):
+        r = StepFunction.rectangle(10, math.inf, 2)
+        assert r.value_at(9) == 0
+        assert r.value_at(1e12) == 2
+
+    def test_rectangle_zero_height_or_duration_is_zero(self):
+        assert StepFunction.rectangle(5, 0, 3).is_zero()
+        assert StepFunction.rectangle(5, 3, 0).is_zero()
+
+    def test_rectangle_negative_rejected(self):
+        with pytest.raises(ProfileError):
+            StepFunction.rectangle(-1, 5, 3)
+        with pytest.raises(ProfileError):
+            StepFunction.rectangle(1, -5, 3)
+
+
+class TestQueries:
+    def test_value_before_zero_is_zero(self):
+        s = StepFunction.constant(4)
+        assert s.value_at(-1) == 0
+
+    def test_value_at_breakpoints(self):
+        s = StepFunction([0.0, 10.0, 20.0], [1.0, 2.0, 3.0])
+        assert s.value_at(0) == 1
+        assert s.value_at(10) == 2
+        assert s.value_at(19.999) == 2
+        assert s.value_at(20) == 3
+
+    def test_min_over(self):
+        s = StepFunction([0.0, 10.0, 20.0], [5.0, 2.0, 8.0])
+        assert s.min_over(0, 10) == 5
+        assert s.min_over(0, 11) == 2
+        assert s.min_over(15, 25) == 2
+        assert s.min_over(20, 30) == 8
+
+    def test_min_over_empty_window(self):
+        s = StepFunction([0.0, 10.0], [5.0, 2.0])
+        assert s.min_over(3, 3) == 5
+
+    def test_integrate(self):
+        s = StepFunction.from_duration_pairs([(10, 2), (10, 3)])
+        assert s.integrate(0, 20) == pytest.approx(50)
+        assert s.integrate(5, 15) == pytest.approx(2 * 5 + 3 * 5)
+        assert s.integrate(0, math.inf) == pytest.approx(50)
+
+    def test_integrate_nonzero_to_infinity_raises(self):
+        with pytest.raises(ProfileError):
+            StepFunction.constant(1).integrate(0, math.inf)
+
+    def test_segments(self):
+        s = StepFunction([0.0, 10.0], [1.0, 2.0])
+        segs = list(s.segments())
+        assert segs[0] == (0.0, 10.0, 1.0)
+        assert segs[1][0] == 10.0
+        assert math.isinf(segs[1][1])
+
+    def test_to_duration_pairs_roundtrip(self):
+        s = StepFunction.from_duration_pairs([(10, 4), (20, 2)])
+        pairs = s.to_duration_pairs(horizon=30)
+        rebuilt = StepFunction.from_duration_pairs(pairs)
+        assert rebuilt == s
+
+
+class TestAlgebra:
+    def test_add_and_subtract(self):
+        a = StepFunction.from_duration_pairs([(10, 3)])
+        b = StepFunction.from_duration_pairs([(5, 2), (10, 1)])
+        c = a + b
+        assert c.value_at(0) == 5
+        assert c.value_at(7) == 4
+        assert c.value_at(12) == 1
+        assert (c - b) == a
+
+    def test_maximum_is_pointwise(self):
+        a = StepFunction.from_duration_pairs([(10, 3)])
+        b = StepFunction.from_duration_pairs([(20, 2)])
+        m = a.maximum(b)
+        assert m.value_at(5) == 3
+        assert m.value_at(15) == 2
+
+    def test_minimum_is_pointwise(self):
+        a = StepFunction.from_duration_pairs([(10, 3)])
+        b = StepFunction.from_duration_pairs([(20, 2)])
+        m = a.minimum(b)
+        assert m.value_at(5) == 2
+        assert m.value_at(15) == 0
+
+    def test_clip_low_and_high(self):
+        s = StepFunction.constant(5) - StepFunction.from_duration_pairs([(10, 8)])
+        assert s.value_at(5) == -3
+        assert s.clip_low(0).value_at(5) == 0
+        assert s.clip_low(0).value_at(20) == 5
+        assert StepFunction.constant(9).clip_high(4).value_at(0) == 4
+
+    def test_scale_and_shift(self):
+        s = StepFunction.constant(4)
+        assert s.scale(2.5).value_at(0) == 10
+        assert s.shift_value(-1).value_at(0) == 3
+
+    def test_floor(self):
+        s = StepFunction.constant(3.7)
+        assert s.floor().value_at(0) == 3
+
+    def test_add_subtract_rectangle(self):
+        s = StepFunction.constant(10)
+        s2 = s.subtract_rectangle(5, 10, 4)
+        assert s2.value_at(4) == 10
+        assert s2.value_at(5) == 6
+        assert s2.value_at(15) == 10
+        assert s2.add_rectangle(5, 10, 4) == s
+
+    def test_equality_ignores_representation(self):
+        a = StepFunction([0.0, 10.0], [2.0, 2.0])
+        b = StepFunction.constant(2)
+        assert a == b
+        assert not (a == StepFunction.constant(3))
+
+    def test_is_non_negative(self):
+        assert StepFunction.constant(0).is_non_negative()
+        assert not (StepFunction.constant(1) - StepFunction.constant(2)).is_non_negative()
+
+
+class TestFindHole:
+    def test_immediate_fit(self):
+        s = StepFunction.constant(10)
+        assert s.find_hole(5, 100, 0) == 0
+
+    def test_fit_after_busy_interval(self):
+        s = StepFunction.constant(10).subtract_rectangle(0, 50, 8)
+        # only 2 nodes available during [0, 50)
+        assert s.find_hole(5, 10, 0) == 50
+        assert s.find_hole(2, 10, 0) == 0
+
+    def test_respects_earliest(self):
+        s = StepFunction.constant(10)
+        assert s.find_hole(5, 10, earliest=42) == 42
+
+    def test_fits_inside_a_hole_exactly(self):
+        s = StepFunction.constant(4).subtract_rectangle(0, 10, 4).subtract_rectangle(20, 10, 4)
+        # hole of 4 nodes during [10, 20)
+        assert s.find_hole(4, 10, 0) == 10
+        assert s.find_hole(4, 11, 0) == 30
+
+    def test_never_fits_returns_inf(self):
+        s = StepFunction.constant(3)
+        assert math.isinf(s.find_hole(5, 10, 0))
+
+    def test_zero_request_fits_immediately(self):
+        s = StepFunction.zero()
+        assert s.find_hole(0, 10, 5) == 5
+        assert s.find_hole(3, 0, 7) == 7
+
+    def test_infinite_duration(self):
+        s = StepFunction.constant(8).subtract_rectangle(0, 100, 6)
+        assert s.find_hole(4, math.inf, 0) == 100
+        assert s.find_hole(2, math.inf, 0) == 0
+        assert math.isinf(s.find_hole(9, math.inf, 0))
+
+    def test_alloc_limit(self):
+        s = StepFunction.constant(10).subtract_rectangle(0, 50, 7)
+        assert s.alloc_limit(0, 10, requested=5) == 3
+        assert s.alloc_limit(0, 10, requested=2) == 2
+        assert s.alloc_limit(60, 10, requested=12) == 10
+        assert s.alloc_limit(0, 100, requested=5) == 3
+
+    def test_alloc_limit_never_negative(self):
+        s = StepFunction.constant(2) - StepFunction.constant(5)
+        assert s.alloc_limit(0, 10, requested=4) == 0

@@ -1,0 +1,124 @@
+"""Unit tests of requests and their lifecycle."""
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    ConstraintError,
+    RelatedHow,
+    Request,
+    RequestError,
+    RequestState,
+    RequestType,
+)
+
+
+class TestValidation:
+    def test_negative_node_count_rejected(self):
+        with pytest.raises(RequestError):
+            Request("c", -1, 10, RequestType.NON_PREEMPTIBLE)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(RequestError):
+            Request("c", 1, -10, RequestType.NON_PREEMPTIBLE)
+
+    def test_bad_types_rejected(self):
+        with pytest.raises(RequestError):
+            Request("c", 1, 10, "nonP")
+        with pytest.raises(RequestError):
+            Request("c", 1, 10, RequestType.PREEMPTIBLE, related_how="NEXT")
+
+    def test_constraint_requires_related_to(self):
+        with pytest.raises(ConstraintError):
+            Request("c", 1, 10, RequestType.NON_PREEMPTIBLE, related_how=RelatedHow.NEXT)
+
+    def test_cannot_relate_to_itself(self):
+        # A request can never be its own constraint target; the object does
+        # not exist before __init__, so exercise the defensive check by
+        # re-initialising an allocated instance with itself as the parent.
+        with pytest.raises(ConstraintError):
+            r2 = Request.__new__(Request)
+            Request.__init__(
+                r2, "c", 1, 10, RequestType.NON_PREEMPTIBLE,
+                related_how=RelatedHow.NEXT, related_to=r2,
+            )
+
+    def test_zero_node_count_is_legal(self):
+        r = Request("c", 0, 10, RequestType.PREEMPTIBLE)
+        assert r.node_count == 0
+
+    def test_ids_are_unique_and_increasing(self):
+        a = Request("c", 1, 10, RequestType.PREEMPTIBLE)
+        b = Request("c", 1, 10, RequestType.PREEMPTIBLE)
+        assert b.request_id > a.request_id
+
+
+class TestLifecycle:
+    def test_initial_state(self):
+        r = Request("c", 4, 100, RequestType.NON_PREEMPTIBLE)
+        assert r.pending()
+        assert not r.started()
+        assert not r.finished()
+        assert math.isinf(r.scheduled_at)
+        assert r.node_ids == frozenset()
+
+    def test_start_and_finish(self):
+        r = Request("c", 4, 100, RequestType.NON_PREEMPTIBLE)
+        r.mark_started(10.0, {1, 2, 3, 4})
+        assert r.started()
+        assert r.active()
+        assert r.state is RequestState.STARTED
+        assert r.node_ids == frozenset({1, 2, 3, 4})
+        r.mark_finished(60.0)
+        assert r.finished()
+        assert not r.active()
+        # done() shrinks the duration to the actually used time.
+        assert r.duration == pytest.approx(50.0)
+        assert r.end_time() == pytest.approx(60.0)
+
+    def test_finish_before_start(self):
+        r = Request("c", 4, 100, RequestType.NON_PREEMPTIBLE)
+        r.mark_finished(5.0)
+        assert r.finished()
+        assert r.duration == 0.0
+
+    def test_cancel(self):
+        r = Request("c", 4, 100, RequestType.NON_PREEMPTIBLE)
+        r.mark_cancelled(3.0)
+        assert r.finished()
+        assert r.state is RequestState.CANCELLED
+
+    def test_end_time_and_remaining(self):
+        r = Request("c", 4, 100, RequestType.NON_PREEMPTIBLE)
+        r.scheduled_at = 50.0
+        assert r.end_time() == pytest.approx(150.0)
+        r.mark_started(60.0)
+        assert r.end_time() == pytest.approx(160.0)
+        assert r.remaining_duration(100.0) == pytest.approx(60.0)
+        assert r.remaining_duration(1000.0) == 0.0
+
+    def test_type_predicates(self):
+        assert Request("c", 1, 1, RequestType.PREALLOCATION).is_preallocation()
+        assert Request("c", 1, 1, RequestType.NON_PREEMPTIBLE).is_non_preemptible()
+        assert Request("c", 1, 1, RequestType.PREEMPTIBLE).is_preemptible()
+
+    def test_clone_spec_resets_runtime_state(self):
+        r = Request("c", 4, 100, RequestType.NON_PREEMPTIBLE, app_id="app1")
+        r.mark_started(10.0, {1})
+        clone = r.clone_spec()
+        assert clone.node_count == 4
+        assert clone.app_id == "app1"
+        assert clone.pending()
+        assert clone.node_ids == frozenset()
+        assert clone.request_id != r.request_id
+
+    def test_repr_mentions_constraint(self):
+        parent = Request("c", 2, 10, RequestType.NON_PREEMPTIBLE)
+        child = Request(
+            "c", 4, 10, RequestType.NON_PREEMPTIBLE,
+            related_how=RelatedHow.NEXT, related_to=parent,
+        )
+        assert "NEXT" in repr(child)
+        assert str(parent.request_id) in repr(child)

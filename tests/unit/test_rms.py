@@ -1,0 +1,318 @@
+"""Unit tests of the CooRMv2 RMS server (sessions, node IDs, protocol)."""
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    CooRMv2,
+    Connected,
+    Request,
+    RequestError,
+    RequestStarted,
+    RequestSubmitted,
+    RequestType,
+    RelatedHow,
+    SessionError,
+    SessionKilled,
+    View,
+    ViewsPushed,
+)
+from repro.cluster import Platform
+from repro.sim import Simulator
+
+
+class RecordingApp:
+    """A minimal application that records every callback."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.views = []
+        self.started = []
+        self.killed_reason = None
+
+    def on_views(self, non_preemptive, preemptive):
+        self.views.append((non_preemptive, preemptive))
+
+    def on_start(self, request, node_ids):
+        self.started.append((request, node_ids))
+
+    def on_killed(self, reason):
+        self.killed_reason = reason
+
+
+def make_env(nodes=16, **kwargs):
+    sim = Simulator()
+    platform = Platform.single_cluster(nodes)
+    rms = CooRMv2(platform, sim, rescheduling_interval=1.0, **kwargs)
+    return sim, platform, rms
+
+
+class TestSessions:
+    def test_connect_pushes_views(self):
+        sim, _, rms = make_env()
+        app = RecordingApp("a")
+        rms.connect(app, "a")
+        sim.run()
+        assert len(app.views) == 1
+        non_preemptive, preemptive = app.views[0]
+        assert non_preemptive["cluster0"].value_at(0) == 16
+        assert preemptive["cluster0"].value_at(0) == 16
+        assert isinstance(rms.event_log.last(Connected), Connected)
+
+    def test_duplicate_connect_rejected(self):
+        sim, _, rms = make_env()
+        rms.connect(RecordingApp("a"), "a")
+        with pytest.raises(SessionError):
+            rms.connect(RecordingApp("a"), "a")
+
+    def test_auto_generated_app_ids(self):
+        _, _, rms = make_env()
+        s1 = rms.connect(RecordingApp("x"))
+        s2 = rms.connect(RecordingApp("y"))
+        assert s1.app_id != s2.app_id
+
+    def test_submit_requires_session(self):
+        _, _, rms = make_env()
+        with pytest.raises(SessionError):
+            rms.submit("ghost", Request("cluster0", 1, 10, RequestType.NON_PREEMPTIBLE))
+
+    def test_disconnect_releases_everything(self):
+        sim, platform, rms = make_env()
+        app = RecordingApp("a")
+        rms.connect(app, "a")
+        request = rms.submit("a", Request("cluster0", 4, math.inf, RequestType.NON_PREEMPTIBLE))
+        sim.run()
+        assert platform.cluster("cluster0").free_count() == 12
+        rms.disconnect("a")
+        sim.run()
+        assert platform.cluster("cluster0").free_count() == 16
+        assert request.finished()
+        with pytest.raises(SessionError):
+            rms.submit("a", Request("cluster0", 1, 10, RequestType.NON_PREEMPTIBLE))
+
+
+class TestRequestLifecycle:
+    def test_submit_validates_cluster_and_size(self):
+        _, _, rms = make_env()
+        rms.connect(RecordingApp("a"), "a")
+        with pytest.raises(RequestError):
+            rms.submit("a", Request("nope", 1, 10, RequestType.NON_PREEMPTIBLE))
+        with pytest.raises(RequestError):
+            rms.submit("a", Request("cluster0", 100, 10, RequestType.NON_PREEMPTIBLE))
+
+    def test_non_preemptible_request_gets_node_ids(self):
+        sim, _, rms = make_env()
+        app = RecordingApp("a")
+        rms.connect(app, "a")
+        rms.submit("a", Request("cluster0", 4, 100.0, RequestType.NON_PREEMPTIBLE))
+        sim.run(until=10.0)
+        assert len(app.started) == 1
+        request, node_ids = app.started[0]
+        assert len(node_ids) == 4
+        assert request.started()
+        assert isinstance(rms.event_log.last(RequestStarted), RequestStarted)
+
+    def test_preallocation_gets_no_node_ids(self):
+        sim, _, rms = make_env()
+        app = RecordingApp("a")
+        rms.connect(app, "a")
+        rms.submit("a", Request("cluster0", 8, 100.0, RequestType.PREALLOCATION))
+        sim.run(until=10.0)
+        request, node_ids = app.started[0]
+        assert node_ids == frozenset()
+        assert request.is_preallocation()
+
+    def test_request_expires_after_its_duration(self):
+        sim, platform, rms = make_env()
+        app = RecordingApp("a")
+        rms.connect(app, "a")
+        rms.submit("a", Request("cluster0", 4, 50.0, RequestType.NON_PREEMPTIBLE))
+        sim.run(until=40.0)
+        assert platform.cluster("cluster0").free_count() == 12
+        sim.run(until=60.0)
+        assert platform.cluster("cluster0").free_count() == 16
+
+    def test_done_releases_early_and_is_idempotent(self):
+        sim, platform, rms = make_env()
+        app = RecordingApp("a")
+        rms.connect(app, "a")
+        request = rms.submit("a", Request("cluster0", 4, 1000.0, RequestType.NON_PREEMPTIBLE))
+        sim.run(until=10.0)
+        rms.done("a", request)
+        rms.done("a", request)  # second call is a no-op
+        sim.run(until=20.0)
+        assert platform.cluster("cluster0").free_count() == 16
+        summary = rms.accountant.summary("a")
+        assert summary.non_preemptible_node_seconds == pytest.approx(4 * (10.0 - 1.0), rel=0.2)
+
+    def test_done_rejects_foreign_requests(self):
+        sim, _, rms = make_env()
+        rms.connect(RecordingApp("a"), "a")
+        rms.connect(RecordingApp("b"), "b")
+        request = rms.submit("a", Request("cluster0", 2, 100.0, RequestType.NON_PREEMPTIBLE))
+        with pytest.raises(RequestError):
+            rms.done("b", request)
+
+    def test_rescheduling_interval_coalesces_messages(self):
+        sim, _, rms = make_env()
+        app = RecordingApp("a")
+        rms.connect(app, "a")
+        sim.run()
+        passes_before = sim.processed_events
+        # A burst of submissions at the same instant triggers one pass.
+        for _ in range(5):
+            rms.submit("a", Request("cluster0", 1, 10.0, RequestType.NON_PREEMPTIBLE))
+        assert isinstance(rms.event_log.last(RequestSubmitted), RequestSubmitted)
+        sim.run()
+        started = [e for e in rms.event_log.of_kind(RequestStarted)]
+        assert len(started) == 5
+        # All five requests started at the same scheduling pass time.
+        assert len({e.time for e in started}) == 1
+
+
+class TestNextChains:
+    def test_spontaneous_growth_carries_node_ids(self):
+        sim, platform, rms = make_env()
+        app = RecordingApp("a")
+        rms.connect(app, "a")
+        first = rms.submit("a", Request("cluster0", 4, math.inf, RequestType.NON_PREEMPTIBLE))
+        sim.run(until=5.0)
+        first_nodes = set(first.node_ids)
+        assert len(first_nodes) == 4
+        # Grow to 6 nodes: new request NEXT to the running one, then done().
+        second = rms.submit(
+            "a",
+            Request(
+                "cluster0", 6, math.inf, RequestType.NON_PREEMPTIBLE,
+                related_how=RelatedHow.NEXT, related_to=first,
+            ),
+        )
+        rms.done("a", first)
+        sim.run(until=10.0)
+        assert second.started()
+        assert first_nodes.issubset(set(second.node_ids))
+        assert len(second.node_ids) == 6
+        assert platform.cluster("cluster0").free_count() == 10
+
+    def test_shrink_releases_chosen_nodes(self):
+        sim, platform, rms = make_env()
+        app = RecordingApp("a")
+        rms.connect(app, "a")
+        first = rms.submit("a", Request("cluster0", 6, math.inf, RequestType.NON_PREEMPTIBLE))
+        sim.run(until=5.0)
+        to_free = sorted(first.node_ids)[-2:]
+        second = rms.submit(
+            "a",
+            Request(
+                "cluster0", 4, math.inf, RequestType.NON_PREEMPTIBLE,
+                related_how=RelatedHow.NEXT, related_to=first,
+            ),
+        )
+        rms.done("a", first, released_node_ids=to_free)
+        sim.run(until=10.0)
+        assert second.started()
+        assert len(second.node_ids) == 4
+        assert not set(to_free) & set(second.node_ids)
+        assert platform.cluster("cluster0").free_count() == 12
+
+    def test_orphaned_retained_nodes_are_released(self):
+        sim, platform, rms = make_env()
+        app = RecordingApp("a")
+        rms.connect(app, "a")
+        first = rms.submit("a", Request("cluster0", 4, math.inf, RequestType.NON_PREEMPTIBLE))
+        sim.run(until=5.0)
+        successor = rms.submit(
+            "a",
+            Request(
+                "cluster0", 4, math.inf, RequestType.NON_PREEMPTIBLE,
+                related_how=RelatedHow.NEXT, related_to=first,
+            ),
+        )
+        rms.done("a", first)
+        # Abandon the successor before it starts: the carried nodes must not leak.
+        rms.done("a", successor)
+        sim.run(until=10.0)
+        assert platform.cluster("cluster0").free_count() == 16
+
+    def test_deferred_start_waits_for_release(self):
+        sim, platform, rms = make_env(nodes=8)
+        holder = RecordingApp("holder")
+        grower = RecordingApp("grower")
+        rms.connect(holder, "holder")
+        rms.connect(grower, "grower")
+        blocking = rms.submit("holder", Request("cluster0", 6, math.inf, RequestType.NON_PREEMPTIBLE))
+        sim.run(until=5.0)
+        wanted = rms.submit("grower", Request("cluster0", 4, math.inf, RequestType.NON_PREEMPTIBLE))
+        sim.run(until=10.0)
+        assert not wanted.started()  # only 2 nodes free
+        rms.done("holder", blocking)
+        sim.run(until=20.0)
+        assert wanted.started()
+        assert len(wanted.node_ids) == 4
+
+
+class TestPreemptibleAndViews:
+    def test_preemptible_request_shrinks_to_available(self):
+        sim, _, rms = make_env(nodes=8)
+        a, b = RecordingApp("a"), RecordingApp("b")
+        rms.connect(a, "a")
+        rms.connect(b, "b")
+        ra = rms.submit("a", Request("cluster0", 8, math.inf, RequestType.PREEMPTIBLE))
+        rb = rms.submit("b", Request("cluster0", 8, math.inf, RequestType.PREEMPTIBLE))
+        sim.run(until=5.0)
+        assert ra.started() and rb.started()
+        assert len(ra.node_ids) + len(rb.node_ids) <= 8
+        assert len(ra.node_ids) == 4  # equi-partition
+
+    def test_views_are_pushed_when_state_changes(self):
+        sim, _, rms = make_env()
+        a, b = RecordingApp("a"), RecordingApp("b")
+        rms.connect(a, "a")
+        sim.run()
+        views_before = len(a.views)
+        rms.connect(b, "b")
+        rms.submit("b", Request("cluster0", 8, 100.0, RequestType.NON_PREEMPTIBLE))
+        sim.run(until=10.0)
+        # Application "a" learns that 8 nodes are now taken.
+        assert len(a.views) > views_before
+        _, preemptive = a.views[-1]
+        assert preemptive["cluster0"].value_at(10.0) == 8
+        assert isinstance(rms.event_log.last(ViewsPushed), ViewsPushed)
+
+    def test_kill_terminates_session_and_frees_nodes(self):
+        sim, platform, rms = make_env()
+        app = RecordingApp("a")
+        rms.connect(app, "a")
+        rms.submit("a", Request("cluster0", 4, math.inf, RequestType.NON_PREEMPTIBLE))
+        sim.run(until=5.0)
+        rms.kill("a", "testing the kill path")
+        assert app.killed_reason == "testing the kill path"
+        assert platform.cluster("cluster0").free_count() == 16
+        assert isinstance(rms.event_log.last(SessionKilled), SessionKilled)
+        with pytest.raises(SessionError):
+            rms.submit("a", Request("cluster0", 1, 10, RequestType.NON_PREEMPTIBLE))
+
+    def test_protocol_violators_are_killed_when_enabled(self):
+        sim, _, rms = make_env(nodes=8, kill_protocol_violators=True, violation_grace=5.0)
+
+        class StubbornApp(RecordingApp):
+            """Never releases preemptible resources when asked to."""
+
+        stubborn = StubbornApp("stubborn")
+        polite = RecordingApp("polite")
+        rms.connect(stubborn, "stubborn")
+        rms.submit("stubborn", Request("cluster0", 8, math.inf, RequestType.PREEMPTIBLE))
+        sim.run(until=5.0)
+        # A competing non-preemptible request means the stubborn application
+        # must give nodes back; it never does, so the RMS kills it.
+        rms.connect(polite, "polite")
+        rms.submit("polite", Request("cluster0", 6, math.inf, RequestType.NON_PREEMPTIBLE))
+        sim.run(until=60.0)
+        assert stubborn.killed_reason is not None
+
+    def test_invalid_configuration_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            CooRMv2(Platform.single_cluster(4), sim, rescheduling_interval=-1.0)

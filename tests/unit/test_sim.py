@@ -1,0 +1,192 @@
+"""Unit tests of the discrete-event simulation engine."""
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import SimulationError
+from repro.sim import RandomSource, Simulator, spawn_streams
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(10, order.append, "b")
+        sim.schedule(5, order.append, "a")
+        sim.schedule(20, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 20.0
+
+    def test_ties_fire_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        for label in "abc":
+            sim.schedule(5, order.append, label)
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(42.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [42.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_scheduling_in_the_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_cancel(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.schedule(5, seen.append, "x")
+        handle.cancel()
+        sim.run()
+        assert seen == []
+        assert not handle.pending()
+
+    def test_run_until(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5, seen.append, "early")
+        sim.schedule(50, seen.append, "late")
+        sim.run(until=10)
+        assert seen == ["early"]
+        assert sim.now == 10.0
+        sim.run()
+        assert seen == ["early", "late"]
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append(sim.now)
+            sim.schedule(5, second)
+
+        def second():
+            seen.append(sim.now)
+
+        sim.schedule(1, first)
+        sim.run()
+        assert seen == [1.0, 6.0]
+
+    def test_peek_and_empty(self):
+        sim = Simulator()
+        assert sim.empty()
+        assert math.isinf(sim.peek())
+        sim.schedule(3, lambda: None)
+        assert sim.peek() == 3.0
+        assert not sim.empty()
+        sim.run()
+        assert sim.empty()
+
+    def test_infinite_loop_guard(self):
+        sim = Simulator()
+
+        def rescheduler():
+            sim.schedule(0.0, rescheduler)
+
+        sim.schedule(0.0, rescheduler)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=1000)
+
+    def test_processed_events_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1, lambda: None)
+        sim.run()
+        assert sim.processed_events == 5
+
+
+class TestProcesses:
+    def test_generator_process_sleeps(self):
+        sim = Simulator()
+        seen = []
+
+        def worker():
+            seen.append(sim.now)
+            yield 10
+            seen.append(sim.now)
+            yield 5
+            seen.append(sim.now)
+
+        proc = sim.process(worker(), name="worker")
+        sim.run()
+        assert seen == [0.0, 10.0, 15.0]
+        assert proc.finished
+
+    def test_yield_none_resumes_immediately(self):
+        sim = Simulator()
+        seen = []
+
+        def worker():
+            yield None
+            seen.append(sim.now)
+
+        sim.process(worker())
+        sim.run()
+        assert seen == [0.0]
+
+    def test_negative_yield_is_an_error(self):
+        sim = Simulator()
+
+        def worker():
+            yield -1
+
+        sim.process(worker())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_interrupt_stops_process(self):
+        sim = Simulator()
+        seen = []
+
+        def worker():
+            while True:
+                seen.append(sim.now)
+                yield 10
+
+        proc = sim.process(worker())
+        sim.schedule(25, proc.interrupt)
+        sim.run()
+        assert seen == [0.0, 10.0, 20.0]
+
+
+class TestRandomSource:
+    def test_same_seed_same_stream(self):
+        a, b = RandomSource(42), RandomSource(42)
+        assert [a.uniform_int(0, 100) for _ in range(5)] == [
+            b.uniform_int(0, 100) for _ in range(5)
+        ]
+
+    def test_uniform_int_bounds(self):
+        rng = RandomSource(1)
+        values = [rng.uniform_int(3, 7) for _ in range(200)]
+        assert min(values) >= 3 and max(values) <= 7
+
+    def test_gaussian_array_shape(self):
+        assert RandomSource(0).gaussian_array(0, 1, 10).shape == (10,)
+
+    def test_choice(self):
+        assert RandomSource(0).choice(["only"]) == "only"
+
+    def test_spawn_streams_are_independent_but_reproducible(self):
+        s1 = [s.uniform() for s in spawn_streams(7, 3)]
+        s2 = [s.uniform() for s in spawn_streams(7, 3)]
+        assert s1 == s2
+        assert len(set(s1)) == 3

@@ -1,0 +1,121 @@
+"""Unit tests of toView() (paper Algorithm 1)."""
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    RelatedHow,
+    Request,
+    RequestSet,
+    RequestType,
+    View,
+    to_view,
+)
+
+
+def np_request(n, duration, related_how=RelatedHow.FREE, related_to=None, cluster="c"):
+    return Request(cluster, n, duration, RequestType.NON_PREEMPTIBLE, related_how, related_to)
+
+
+class TestToView:
+    def test_empty_set_gives_empty_view(self):
+        assert to_view(RequestSet()).is_zero()
+
+    def test_pending_requests_are_not_fixed(self):
+        rs = RequestSet(RequestType.NON_PREEMPTIBLE)
+        r = np_request(4, 100)
+        rs.add(r)
+        view = to_view(rs)
+        assert view.is_zero()
+        assert not r.fixed
+
+    def test_started_request_occupies_from_its_start_time(self):
+        rs = RequestSet(RequestType.NON_PREEMPTIBLE)
+        r = np_request(4, 100)
+        rs.add(r)
+        r.mark_started(10.0)
+        view = to_view(rs)
+        assert r.fixed
+        assert r.scheduled_at == 10.0
+        assert r.n_alloc == 4
+        assert view["c"].value_at(10) == 4
+        assert view["c"].value_at(109.9) == 4
+        assert view["c"].value_at(110) == 0
+        assert view["c"].value_at(9.9) == 0
+
+    def test_next_child_of_started_parent_is_fixed(self):
+        rs = RequestSet(RequestType.NON_PREEMPTIBLE)
+        parent = np_request(4, 100)
+        child = np_request(6, 50, RelatedHow.NEXT, parent)
+        rs.add(parent)
+        rs.add(child)
+        parent.mark_started(20.0)
+        view = to_view(rs)
+        assert child.fixed
+        assert child.scheduled_at == pytest.approx(120.0)
+        assert view["c"].value_at(130) == 6
+        assert view["c"].value_at(171) == 0
+
+    def test_coalloc_child_of_started_parent(self):
+        rs = RequestSet(RequestType.NON_PREEMPTIBLE)
+        parent = np_request(4, 100)
+        child = np_request(2, 100, RelatedHow.COALLOC, parent)
+        rs.add(parent)
+        rs.add(child)
+        parent.mark_started(5.0)
+        view = to_view(rs)
+        assert child.fixed
+        assert child.scheduled_at == pytest.approx(5.0)
+        assert view["c"].value_at(50) == 6
+
+    def test_next_child_of_finished_parent_uses_actual_end(self):
+        rs = RequestSet(RequestType.NON_PREEMPTIBLE)
+        parent = np_request(4, 1000)
+        child = np_request(6, 50, RelatedHow.NEXT, parent)
+        rs.add(parent)
+        rs.add(child)
+        parent.mark_started(0.0)
+        parent.mark_finished(30.0)  # done() long before the requested duration
+        child.mark_started(30.0)
+        view = to_view(rs)
+        assert child.scheduled_at == pytest.approx(30.0)
+        assert view["c"].value_at(40) == 6
+
+    def test_available_view_limits_n_alloc(self):
+        rs = RequestSet(RequestType.PREEMPTIBLE)
+        r = Request("c", 10, 100, RequestType.PREEMPTIBLE)
+        rs.add(r)
+        r.mark_started(0.0)
+        available = View.constant({"c": 6})
+        view = to_view(rs, available)
+        assert r.n_alloc == 6
+        assert view["c"].value_at(50) == 6
+
+    def test_finished_requests_are_ignored(self):
+        rs = RequestSet(RequestType.NON_PREEMPTIBLE)
+        r = np_request(4, 100)
+        rs.add(r)
+        r.mark_started(0.0)
+        r.mark_finished(10.0)
+        assert to_view(rs).is_zero()
+
+    def test_fixed_flag_is_reset_on_each_call(self):
+        rs = RequestSet(RequestType.NON_PREEMPTIBLE)
+        r = np_request(4, 100)
+        rs.add(r)
+        r.mark_started(0.0)
+        to_view(rs)
+        assert r.fixed
+        r.mark_finished(10.0)
+        to_view(rs)
+        assert not r.fixed
+
+    def test_works_on_plain_lists(self):
+        parent = np_request(4, 100)
+        child = np_request(2, 10, RelatedHow.NEXT, parent)
+        parent.mark_started(0.0)
+        view = to_view([parent, child])
+        assert view["c"].value_at(50) == 4
+        assert view["c"].value_at(105) == 2
