@@ -16,7 +16,10 @@ The package is organised bottom-up:
   rigid-only FCFS+CBF batch scheduler;
 * :mod:`repro.metrics`, :mod:`repro.workloads` -- measurement and workload
   generation utilities;
-* :mod:`repro.experiments` -- one driver per figure of the evaluation.
+* :mod:`repro.experiments` -- one driver per figure of the evaluation;
+* :mod:`repro.campaign` -- declarative scenario specs, parallel multi-seed
+  campaign execution and a persistent result store (also the
+  ``python -m repro`` command-line interface).
 
 Quick start::
 
@@ -43,9 +46,9 @@ from .core import (
     View,
 )
 from .cluster import Platform
-from .sim import RandomSource, Simulator
+from .sim import RandomSource, Simulator, derive_seed
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CooRMv2",
@@ -58,5 +61,19 @@ __all__ = [
     "Platform",
     "Simulator",
     "RandomSource",
+    "derive_seed",
+    "campaign",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    # The campaign subsystem pulls in the experiment drivers, so it is
+    # imported lazily to keep ``import repro`` light for library users.
+    # (import_module, not ``from . import``: the latter re-enters this
+    # __getattr__ through importlib's fromlist handling and recurses.)
+    if name == "campaign":
+        import importlib
+
+        return importlib.import_module(".campaign", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

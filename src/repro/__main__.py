@@ -1,0 +1,7 @@
+"""``python -m repro`` -- the campaign orchestration CLI."""
+import sys
+
+from .campaign.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

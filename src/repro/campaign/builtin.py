@@ -1,0 +1,309 @@
+"""Built-in scenario runners: the paper's figures plus mixed workloads.
+
+Each figure of the evaluation (`repro.experiments.fig*`) is ported here as a
+registered scenario runner so the whole paper evaluation can run as one
+parallel campaign (``python -m repro campaign run --scenarios paper``-style
+sweeps).  Runners return **flat** ``{metric: number}`` mappings -- figure
+sweeps are flattened with one key per (x-position, series) pair -- because
+flat records make medians across seeds and cross-campaign comparisons
+trivial.
+
+Two generic runners complement the figures:
+
+``amr_psa`` is the generic runner: it executes whatever the scenario's
+platform/workload/RMS sections describe (the paper scenario with every knob
+exposed, including rigid batch-job streams layered on top -- see the
+built-in ``mixed-rigid`` scenario).
+"""
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..experiments import (
+    fig1_amr_profiles,
+    fig2_speedup_fit,
+    fig3_static_endtime,
+    fig4_static_choices,
+    fig9_spontaneous,
+    fig10_announced,
+    fig11_two_psas,
+)
+from ..experiments.runner import run_scenario
+from ..models.amr_evolution import AmrEvolutionParameters, normalized_profile
+from ..sim.randomness import derive_seed
+from ..workloads.generator import WorkloadParameters, generate_rigid_workload
+from ..workloads.trace import load_trace
+from .registry import register_runner, register_scenario
+from .spec import RmsSpec, ScenarioSpec, WorkloadSpec, resolve_scale
+
+__all__ = ["clean_metrics"]
+
+#: Announce intervals of Figures 10/11 expressed relative to the PSA1 task
+#: duration (the paper sweeps 0..700 s against 600-second tasks), so the
+#: sweep keeps its shape at every scale.
+RELATIVE_ANNOUNCE_INTERVALS: Tuple[float, ...] = tuple(
+    i / 600.0 for i in fig10_announced.PAPER_ANNOUNCE_INTERVALS
+)
+
+
+def clean_metrics(metrics: Dict[str, object]) -> Dict[str, object]:
+    """Map non-finite numbers to ``None`` so records are strict JSON."""
+    cleaned: Dict[str, object] = {}
+    for key, value in metrics.items():
+        if isinstance(value, float) and not math.isfinite(value):
+            value = None
+        cleaned[key] = value
+    return cleaned
+
+
+def _apply_metrics_filter(spec: ScenarioSpec, metrics: Dict[str, object]) -> Dict[str, object]:
+    if not spec.metrics:
+        return metrics
+    return {k: v for k, v in metrics.items() if k in spec.metrics}
+
+
+def _finish(spec: ScenarioSpec, metrics: Dict[str, object]) -> Dict[str, object]:
+    return _apply_metrics_filter(spec, clean_metrics(metrics))
+
+
+def _rigid_jobs_for(spec: ScenarioSpec, seed: int):
+    """The rigid background stream of a scenario, if any."""
+    workload = spec.workload
+    if workload.trace_path:
+        return load_trace(workload.trace_path)
+    if workload.rigid_job_count <= 0:
+        return None
+    median = workload.rigid_runtime_median
+    params = WorkloadParameters(
+        job_count=workload.rigid_job_count,
+        max_nodes=workload.rigid_max_nodes,
+        mean_interarrival=workload.rigid_mean_interarrival,
+        runtime_log_mean=math.log(median),
+        runtime_log_sigma=0.6,
+        min_runtime=min(60.0, median),
+        max_runtime=10.0 * median,
+    )
+    # The stream's seed is derived, not reused, so the rigid jobs do not
+    # correlate with the AMR evolution drawn from the same run seed.
+    return generate_rigid_workload(params, seed=derive_seed(seed, "rigid-workload"))
+
+
+# --------------------------------------------------------------------- #
+# Generic runners
+# --------------------------------------------------------------------- #
+@register_runner("amr_psa")
+def run_amr_psa(spec: ScenarioSpec, seed: int) -> Dict[str, object]:
+    """The paper scenario with every spec knob honoured."""
+    scale = resolve_scale(spec)
+    workload = spec.workload
+    # An empty duration list means "the scale's default PSA1" for the paper
+    # scenario, but "no PSAs at all" once the AMR is dropped -- otherwise a
+    # rigid-only workload could never be expressed declaratively.
+    durations: Optional[Sequence[float]]
+    if workload.psa_task_durations:
+        durations = workload.psa_task_durations
+    else:
+        durations = None if workload.include_amr else ()
+    result = run_scenario(
+        scale,
+        seed=seed,
+        overcommit=workload.overcommit,
+        announce_interval=workload.announce_interval,
+        static_allocation=workload.static_allocation,
+        psa_task_durations=durations,
+        strict_equipartition=spec.rms.strict_equipartition,
+        include_amr=workload.include_amr,
+        rigid_jobs=_rigid_jobs_for(spec, seed),
+        cluster_nodes=spec.platform.cluster_nodes or None,
+        kill_protocol_violators=spec.rms.kill_protocol_violators,
+        violation_grace=spec.rms.violation_grace,
+    )
+    metrics = result.metrics.to_dict()
+    metrics["cluster_nodes"] = result.cluster_nodes
+    metrics["ideal_preallocation"] = result.ideal_preallocation
+    if result.rigid_apps:
+        metrics["rigid_jobs"] = len(result.rigid_apps)
+        metrics["rigid_finished"] = sum(1 for a in result.rigid_apps if a.finished())
+    return _finish(spec, metrics)
+
+
+# --------------------------------------------------------------------- #
+# Figure runners (ports of repro.experiments.fig*)
+# --------------------------------------------------------------------- #
+@register_runner("fig1")
+def run_fig1(spec: ScenarioSpec, seed: int) -> Dict[str, object]:
+    """Shape statistics of one normalised AMR working-set profile."""
+    num_steps = int(spec.params.get("num_steps", resolve_scale(spec).num_steps))
+    params = (
+        AmrEvolutionParameters(num_steps=num_steps)
+        if num_steps == 1000
+        else AmrEvolutionParameters.scaled(num_steps)
+    )
+    profile = normalized_profile(seed=seed, params=params)
+    summary = fig1_amr_profiles.summarize_profile(seed, profile)
+    return _finish(
+        spec,
+        {
+            "peak": summary.peak,
+            "final_value": summary.final_value,
+            "increasing_fraction": summary.increasing_fraction,
+            "plateau_fraction": summary.plateau_fraction,
+            "max_step_increase": summary.max_step_increase,
+        },
+    )
+
+
+@register_runner("fig2")
+def run_fig2(spec: ScenarioSpec, seed: int) -> Dict[str, object]:
+    """Model step durations per (mesh size, node count); seed-independent."""
+    curves = fig2_speedup_fit.run()
+    metrics: Dict[str, object] = {}
+    for size_gib, curve in curves.items():
+        for nodes, duration in zip(curve.node_counts, curve.durations):
+            metrics[f"duration_s[{size_gib:g}GiB,n={nodes}]"] = duration
+    return _finish(spec, metrics)
+
+
+@register_runner("fig3")
+def run_fig3(spec: ScenarioSpec, seed: int) -> Dict[str, object]:
+    """End-time increase of the equivalent static allocation (one seed)."""
+    scale = resolve_scale(spec)
+    num_steps = int(spec.params.get("num_steps", scale.num_steps))
+    points = fig3_static_endtime.run(
+        seeds=(seed,), num_steps=num_steps, s_max_mib=scale.s_max_mib
+    )
+    metrics: Dict[str, object] = {}
+    for target, point in points.items():
+        metrics[f"end_time_increase[eff={target:g}]"] = point.median_increase
+        metrics[f"feasible[eff={target:g}]"] = point.feasible_fraction
+    return _finish(spec, metrics)
+
+
+@register_runner("fig4")
+def run_fig4(spec: ScenarioSpec, seed: int) -> Dict[str, object]:
+    """Static-choice node-count ranges per relative peak size (one seed)."""
+    scale = resolve_scale(spec)
+    num_steps = int(spec.params.get("num_steps", scale.num_steps))
+    rows = fig4_static_choices.run(seed=seed, num_steps=num_steps)
+    metrics: Dict[str, object] = {}
+    for relative, row in rows.items():
+        metrics[f"min_nodes[rel={relative:g}]"] = row.min_nodes
+        metrics[f"max_nodes[rel={relative:g}]"] = row.max_nodes
+    return _finish(spec, metrics)
+
+
+def _overcommit_factors(spec: ScenarioSpec) -> Tuple[float, ...]:
+    factors = spec.params.get("overcommit_factors")
+    if factors is None:
+        return fig9_spontaneous.PAPER_OVERCOMMIT_FACTORS
+    return tuple(float(f) for f in factors)
+
+
+@register_runner("fig9")
+def run_fig9(spec: ScenarioSpec, seed: int) -> Dict[str, object]:
+    """Static-vs-dynamic overcommit sweep with spontaneous updates."""
+    scale = resolve_scale(spec)
+    points = fig9_spontaneous.run(_overcommit_factors(spec), scale=scale, seed=seed)
+    metrics: Dict[str, object] = {}
+    for p in points:
+        prefix = f"oc={p.overcommit:g}"
+        metrics[f"amr_used_static[{prefix}]"] = p.static_amr_used_node_seconds
+        metrics[f"amr_used_dynamic[{prefix}]"] = p.dynamic_amr_used_node_seconds
+        metrics[f"psa_waste_dynamic[{prefix}]"] = p.dynamic_psa_waste_node_seconds
+        metrics[f"end_time_static[{prefix}]"] = p.static_end_time
+        metrics[f"end_time_dynamic[{prefix}]"] = p.dynamic_end_time
+    return _finish(spec, metrics)
+
+
+def _announce_intervals(spec: ScenarioSpec, psa1_task_duration: float) -> Tuple[float, ...]:
+    intervals = spec.params.get("announce_intervals")
+    if intervals is not None:
+        return tuple(float(i) for i in intervals)
+    # Scale the paper's 0..700 s x-axis with the PSA task duration so the
+    # "interval reaches the task duration" transition survives at tiny scale.
+    return tuple(r * psa1_task_duration for r in RELATIVE_ANNOUNCE_INTERVALS)
+
+
+@register_runner("fig10")
+def run_fig10(spec: ScenarioSpec, seed: int) -> Dict[str, object]:
+    """Announce-interval sweep: end-time increase, waste, used resources."""
+    scale = resolve_scale(spec)
+    intervals = _announce_intervals(spec, scale.psa1_task_duration)
+    points = fig10_announced.run(intervals, scale=scale, seed=seed)
+    metrics: Dict[str, object] = {}
+    for p in points:
+        prefix = f"announce={p.announce_interval:g}"
+        metrics[f"end_time_increase_pct[{prefix}]"] = p.amr_end_time_increase_percent
+        metrics[f"psa_waste_pct[{prefix}]"] = p.psa_waste_percent
+        metrics[f"used_resources_pct[{prefix}]"] = p.used_resources_percent
+    return _finish(spec, metrics)
+
+
+@register_runner("fig11")
+def run_fig11(spec: ScenarioSpec, seed: int) -> Dict[str, object]:
+    """Two-PSA filling-vs-strict equi-partitioning sweep."""
+    scale = resolve_scale(spec)
+    intervals = _announce_intervals(spec, scale.psa1_task_duration)
+    points = fig11_two_psas.run(intervals, scale=scale, seed=seed)
+    metrics: Dict[str, object] = {}
+    for p in points:
+        prefix = f"announce={p.announce_interval:g}"
+        metrics[f"used_filling_pct[{prefix}]"] = p.used_resources_filling_percent
+        metrics[f"used_strict_pct[{prefix}]"] = p.used_resources_strict_percent
+        metrics[f"filling_gain_pct[{prefix}]"] = p.filling_gain_percent
+    return _finish(spec, metrics)
+
+
+# --------------------------------------------------------------------- #
+# Built-in scenario definitions
+# --------------------------------------------------------------------- #
+for _name, _runner, _description in [
+    ("fig1", "fig1", "Normalised AMR working-set evolution shape statistics"),
+    ("fig2", "fig2", "AMR step-duration model curves (speed-up fit)"),
+    ("fig3", "fig3", "End-time increase of the equivalent static allocation"),
+    ("fig4", "fig4", "Feasible static node-count choices per relative peak size"),
+    ("fig9", "fig9", "Spontaneous updates: static vs dynamic overcommit sweep"),
+    ("fig10", "fig10", "Announced updates: end-time increase, waste, used resources"),
+    ("fig11", "fig11", "Two PSAs: equi-partitioning with filling vs strict"),
+]:
+    register_scenario(
+        ScenarioSpec(name=_name, runner=_runner, description=_description)
+    )
+
+register_scenario(
+    ScenarioSpec(
+        name="baseline-dynamic",
+        runner="amr_psa",
+        description="One AMR + one PSA, dynamic allocation (paper default)",
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="baseline-static",
+        runner="amr_psa",
+        description="One AMR + one PSA, AMR pinned to its whole pre-allocation",
+        workload=WorkloadSpec(static_allocation=True),
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="strict-equipartition",
+        runner="amr_psa",
+        description="Paper scenario under the strict equi-partitioning baseline",
+        rms=RmsSpec(strict_equipartition=True),
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="mixed-rigid",
+        runner="amr_psa",
+        description="AMR + PSA + a background stream of rigid batch jobs",
+        workload=WorkloadSpec(
+            rigid_job_count=8,
+            rigid_max_nodes=16,
+            rigid_mean_interarrival=30.0,
+            rigid_runtime_median=120.0,
+        ),
+    )
+)

@@ -1,0 +1,200 @@
+"""Command-line interface of the campaign subsystem (``python -m repro``).
+
+Commands::
+
+    python -m repro campaign run --scenarios fig9,fig10 --seeds 4 --workers 4
+    python -m repro campaign run --spec my_campaign.json
+    python -m repro campaign list
+    python -m repro campaign report <name> [--compare <other>]
+    python -m repro campaign scenarios
+
+``campaign run`` executes the scenario x seed grid in parallel and persists
+one JSON-lines record per run under the results directory (``results/`` by
+default, or ``--results-dir`` / the ``REPRO_RESULTS_DIR`` variable).  Runs
+are deterministic: the same spec writes byte-identical records regardless of
+the worker count.
+"""
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from ..metrics.report import format_comparison, format_table
+from . import builtin  # noqa: F401  (registers the built-in scenarios)
+from .registry import builtin_scenarios, resolve_scenarios
+from .runner import CampaignRunner
+from .spec import SCALE_NAMES, CampaignSpec
+from .store import ResultStore
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="CooRMv2 reproduction -- experiment campaign orchestration.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    campaign = commands.add_parser("campaign", help="run and inspect campaigns")
+    actions = campaign.add_subparsers(dest="action", required=True)
+
+    run = actions.add_parser("run", help="execute a campaign")
+    run.add_argument(
+        "--scenarios",
+        help="comma-separated built-in scenario names (see 'campaign scenarios')",
+    )
+    run.add_argument("--spec", help="path to a campaign JSON file (overrides --scenarios)")
+    run.add_argument(
+        "--seeds", type=int, default=None,
+        help="replicates per scenario (default: 1, or the spec file's value)",
+    )
+    run.add_argument(
+        "--root-seed", type=int, default=None,
+        help="campaign root seed (default: 0, or the spec file's value)",
+    )
+    run.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel worker processes (default: the spec's worker count)",
+    )
+    run.add_argument(
+        "--scale", choices=SCALE_NAMES, default=None,
+        help="override the evaluation scale of every scenario",
+    )
+    run.add_argument("--name", help="campaign name (defaults to the scenario list)")
+    run.add_argument("--results-dir", default=None, help="result store root")
+    run.add_argument(
+        "--append", action="store_true",
+        help="append to existing records instead of replacing them",
+    )
+    run.add_argument("--quiet", action="store_true", help="suppress progress output")
+
+    listing = actions.add_parser("list", help="list stored campaigns")
+    listing.add_argument("--results-dir", default=None, help="result store root")
+
+    report = actions.add_parser("report", help="summarize a stored campaign")
+    report.add_argument("name", help="campaign name")
+    report.add_argument("--compare", help="second campaign to compare against")
+    report.add_argument("--results-dir", default=None, help="result store root")
+
+    actions.add_parser("scenarios", help="list built-in scenarios")
+
+    return parser
+
+
+def _default_name(scenario_names: Sequence[str], seeds: int) -> str:
+    return "-".join(scenario_names) + f"_x{seeds}"
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.spec:
+        spec = CampaignSpec.load(args.spec)
+        overrides = {}
+        if args.scale is not None:
+            overrides["scenarios"] = [
+                s.with_scale(args.scale).to_dict() for s in spec.scenarios
+            ]
+        # Explicit flags beat the spec file; omitted flags keep its values.
+        if args.seeds is not None:
+            overrides["seeds"] = args.seeds
+        if args.root_seed is not None:
+            overrides["root_seed"] = args.root_seed
+        if overrides:
+            spec = CampaignSpec.from_dict({**spec.to_dict(), **overrides})
+    else:
+        if not args.scenarios:
+            print("error: provide --scenarios or --spec", file=sys.stderr)
+            return 2
+        names = [n.strip() for n in args.scenarios.split(",") if n.strip()]
+        try:
+            scenarios = resolve_scenarios(names, scale=args.scale)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        seeds = 1 if args.seeds is None else args.seeds
+        spec = CampaignSpec(
+            name=args.name or _default_name(names, seeds),
+            scenarios=tuple(scenarios),
+            seeds=seeds,
+            root_seed=0 if args.root_seed is None else args.root_seed,
+            workers=args.workers or 1,
+        )
+    if args.name and spec.name != args.name:
+        spec = CampaignSpec.from_dict({**spec.to_dict(), "name": args.name})
+
+    store = ResultStore(args.results_dir)
+    try:
+        store.campaign_dir(spec.name)  # validate the name before running
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def progress(done: int, total: int, record) -> None:
+        if not args.quiet:
+            print(
+                f"[{done}/{total}] {record['scenario']} "
+                f"replicate={record['replicate']} seed={record['seed']}",
+                flush=True,
+            )
+
+    runner = CampaignRunner(spec, store=store, progress=progress)
+    result = runner.run(workers=args.workers, append=args.append)
+    print(
+        f"campaign {spec.name!r}: {len(result.records)} runs in "
+        f"{result.elapsed_seconds:.2f}s with {result.workers} worker(s) "
+        f"-> {result.store_path}"
+    )
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    store = ResultStore(args.results_dir)
+    infos = store.list_campaigns()
+    if not infos:
+        print(f"no campaigns under {store.root}")
+        return 0
+    rows = [(i.name, i.run_count, ", ".join(i.scenarios)) for i in infos]
+    print(format_table(["campaign", "runs", "scenarios"], rows))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    store = ResultStore(args.results_dir)
+    try:
+        if args.compare:
+            rows = store.compare(args.name, args.compare)
+            print(f"campaign comparison: {args.name} vs {args.compare}")
+            print(format_comparison(rows, label_a=args.name, label_b=args.compare))
+            return 0
+        summary = store.summarize(args.name)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"campaign {args.name!r}: per-scenario medians over replicates")
+    for scenario in summary:
+        print()
+        print(f"== {scenario} ==")
+        rows = list(summary[scenario].items())
+        print(format_table(["metric", "median"], rows))
+    return 0
+
+
+def _cmd_scenarios(_args: argparse.Namespace) -> int:
+    rows = [
+        (spec.name, spec.runner, spec.scale, spec.description)
+        for spec in sorted(builtin_scenarios().values(), key=lambda s: s.name)
+    ]
+    print(format_table(["scenario", "runner", "scale", "description"], rows))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "list": _cmd_list,
+        "report": _cmd_report,
+        "scenarios": _cmd_scenarios,
+    }
+    return handlers[args.action](args)

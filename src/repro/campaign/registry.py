@@ -1,0 +1,94 @@
+"""Registry of scenario runners and built-in scenario definitions.
+
+The campaign layer separates *what* a scenario is (a
+:class:`~repro.campaign.spec.ScenarioSpec`) from *how* it executes (a
+**runner**: a callable ``(spec, seed) -> {metric: value}``).  Runners are
+registered by name so that specs stay serialisable -- a campaign JSON file
+only ever references runners by their names.
+
+Built-in scenarios (the paper's figures plus a few mixed-workload
+configurations) register themselves here when :mod:`repro.campaign.builtin`
+is imported, which :mod:`repro.campaign` guarantees.
+"""
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Optional
+
+from .spec import ScenarioSpec
+
+__all__ = [
+    "ScenarioRunner",
+    "register_runner",
+    "get_runner",
+    "runner_names",
+    "register_scenario",
+    "builtin_scenarios",
+    "resolve_scenarios",
+]
+
+#: A scenario runner executes one (spec, seed) pair and returns a flat,
+#: JSON-serialisable mapping of metric name to value.
+ScenarioRunner = Callable[[ScenarioSpec, int], Mapping[str, object]]
+
+_RUNNERS: Dict[str, ScenarioRunner] = {}
+_BUILTIN: Dict[str, ScenarioSpec] = {}
+
+
+def register_runner(name: str) -> Callable[[ScenarioRunner], ScenarioRunner]:
+    """Decorator registering a scenario runner under *name*."""
+
+    def decorator(fn: ScenarioRunner) -> ScenarioRunner:
+        if name in _RUNNERS:
+            raise ValueError(f"scenario runner {name!r} is already registered")
+        _RUNNERS[name] = fn
+        return fn
+
+    return decorator
+
+
+def get_runner(name: str) -> ScenarioRunner:
+    """Look up a runner, with a helpful error listing the known names."""
+    try:
+        return _RUNNERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario runner {name!r}; known runners: {runner_names()}"
+        ) from None
+
+
+def runner_names() -> List[str]:
+    return sorted(_RUNNERS)
+
+
+def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Register a built-in scenario definition (keyed by its name)."""
+    if spec.name in _BUILTIN:
+        raise ValueError(f"built-in scenario {spec.name!r} is already registered")
+    _BUILTIN[spec.name] = spec
+    return spec
+
+
+def builtin_scenarios() -> Dict[str, ScenarioSpec]:
+    """Name -> spec of every built-in scenario (a copy; safe to mutate)."""
+    return dict(_BUILTIN)
+
+
+def resolve_scenarios(
+    names: Iterable[str], scale: Optional[str] = None
+) -> List[ScenarioSpec]:
+    """Resolve scenario *names* against the built-in registry.
+
+    ``scale`` (when given) overrides the scale of every resolved scenario,
+    which is how ``python -m repro campaign run --scale`` works.
+    """
+    specs: List[ScenarioSpec] = []
+    for name in names:
+        try:
+            spec = _BUILTIN[name]
+        except KeyError:
+            known = ", ".join(sorted(_BUILTIN)) or "(none)"
+            raise KeyError(
+                f"unknown scenario {name!r}; built-in scenarios: {known}"
+            ) from None
+        specs.append(spec if scale is None else spec.with_scale(scale))
+    return specs

@@ -1,0 +1,160 @@
+"""Parallel, deterministic execution of campaigns.
+
+The runner fans the (scenario x replicate) grid of a
+:class:`~repro.campaign.spec.CampaignSpec` out over a
+:mod:`multiprocessing` pool.  Reproducibility is guaranteed by
+construction:
+
+* the seed of every run is ``derive_seed(root_seed, scenario.name,
+  replicate)`` -- a pure function of the spec, independent of worker count
+  and scheduling order;
+* every run is an isolated simulation (no shared mutable state);
+* results are re-ordered into the spec's canonical (scenario, replicate)
+  order before they are persisted.
+
+Consequently ``workers=1`` and ``workers=N`` produce byte-identical run
+records, which the integration tests assert.
+"""
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional
+
+from ..sim.randomness import derive_seed
+from . import builtin  # noqa: F401  (registers the built-in runners)
+from .registry import get_runner
+from .spec import CampaignSpec, ScenarioSpec
+from .store import ResultStore
+
+__all__ = ["RunTask", "CampaignResult", "CampaignRunner"]
+
+#: Progress callback: called with (completed, total, record) per finished run.
+ProgressFn = Callable[[int, int, Mapping], None]
+
+
+@dataclass(frozen=True)
+class RunTask:
+    """One cell of the scenario x replicate grid."""
+
+    scenario: ScenarioSpec
+    replicate: int
+    seed: int
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign execution produced."""
+
+    spec: CampaignSpec
+    records: List[Dict]
+    elapsed_seconds: float
+    workers: int
+    store_path: Optional[str] = None
+
+    def metrics_of(self, scenario: str, replicate: int = 0) -> Dict:
+        for record in self.records:
+            if record["scenario"] == scenario and record["replicate"] == replicate:
+                return record["metrics"]
+        raise KeyError(f"no record for scenario {scenario!r} replicate {replicate}")
+
+
+def _execute_task(task: RunTask) -> Dict:
+    """Run one task in the current process (also the pool worker body)."""
+    runner = get_runner(task.scenario.runner)
+    metrics = dict(runner(task.scenario, task.seed))
+    return {
+        "scenario": task.scenario.name,
+        "replicate": task.replicate,
+        "seed": task.seed,
+        "runner": task.scenario.runner,
+        "scale": task.scenario.scale,
+        "metrics": metrics,
+    }
+
+
+class CampaignRunner:
+    """Executes a campaign, optionally persisting into a result store."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: Optional[ResultStore] = None,
+        progress: Optional[ProgressFn] = None,
+    ):
+        self.spec = spec
+        self.store = store
+        self.progress = progress
+
+    def tasks(self) -> List[RunTask]:
+        """The full grid, in canonical (scenario order, replicate) order."""
+        return [
+            RunTask(
+                scenario=scenario,
+                replicate=replicate,
+                seed=derive_seed(self.spec.root_seed, scenario.name, replicate),
+            )
+            for scenario in self.spec.scenarios
+            for replicate in range(self.spec.seeds)
+        ]
+
+    def run(
+        self, workers: Optional[int] = None, append: bool = False
+    ) -> CampaignResult:
+        """Execute every task and return (and optionally persist) the records.
+
+        *workers* overrides the spec's worker count.  Results stream through
+        the progress callback as they complete (arbitrary order), but the
+        returned and persisted records are always canonically ordered.
+        """
+        workers = self.spec.workers if workers is None else workers
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        tasks = self.tasks()
+        workers = min(workers, len(tasks)) or 1
+
+        started = time.perf_counter()
+        completed = 0
+        records: List[Dict] = []
+        if workers == 1:
+            for task in tasks:
+                record = _execute_task(task)
+                records.append(record)
+                completed += 1
+                if self.progress is not None:
+                    self.progress(completed, len(tasks), record)
+        else:
+            # Worker processes import this module afresh (under spawn) or
+            # inherit it (under fork); either way the built-in runners are
+            # registered by the module import above before tasks execute.
+            with multiprocessing.Pool(processes=workers) as pool:
+                for record in pool.imap_unordered(_execute_task, tasks, chunksize=1):
+                    records.append(record)
+                    completed += 1
+                    if self.progress is not None:
+                        self.progress(completed, len(tasks), record)
+        elapsed = time.perf_counter() - started
+
+        order = {s.name: i for i, s in enumerate(self.spec.scenarios)}
+        records.sort(key=lambda r: (order[r["scenario"]], r["replicate"]))
+
+        store_path: Optional[str] = None
+        if self.store is not None:
+            meta = {
+                "workers": workers,
+                "elapsed_seconds": elapsed,
+                "run_count": len(records),
+                "finished_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            }
+            store_path = str(
+                self.store.save_campaign(self.spec, records, meta=meta, append=append)
+            )
+
+        return CampaignResult(
+            spec=self.spec,
+            records=records,
+            elapsed_seconds=elapsed,
+            workers=workers,
+            store_path=store_path,
+        )

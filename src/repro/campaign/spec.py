@@ -1,0 +1,304 @@
+"""Declarative scenario and campaign specifications.
+
+A *scenario* describes one simulated configuration -- platform, workload mix,
+RMS configuration and the runner that executes it -- while a *campaign*
+groups scenarios with a seed range and parallelism settings.  Both are plain
+frozen dataclasses that round-trip losslessly through dictionaries and JSON,
+so campaigns can be written by hand, versioned next to the results they
+produced, and replayed later.
+
+The specs deliberately describe *what* to simulate, never *how*:
+execution lives in :mod:`repro.campaign.runner` and the built-in scenario
+definitions in :mod:`repro.campaign.builtin`.
+"""
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields, replace
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from ..experiments.runner import EvaluationScale
+
+__all__ = [
+    "SCALE_NAMES",
+    "PlatformSpec",
+    "WorkloadSpec",
+    "RmsSpec",
+    "ScenarioSpec",
+    "CampaignSpec",
+    "resolve_scale",
+]
+
+#: Named evaluation scales (constructors on :class:`EvaluationScale`).
+SCALE_NAMES: Tuple[str, ...] = ("tiny", "reduced", "paper")
+
+
+def _jsonify(value):
+    """Convert tuples to lists recursively so ``to_dict`` is JSON-canonical."""
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _jsonify(v) for k, v in value.items()}
+    return value
+
+
+def _filter_kwargs(cls, data: Mapping) -> Dict:
+    """Keep only keys that are fields of *cls*, rejecting unknown ones."""
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(
+            f"{cls.__name__} does not understand field(s): {sorted(unknown)}"
+        )
+    return dict(data)
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Where the scenario runs.
+
+    ``cluster_nodes == 0`` means "derive the cluster size from the evolving
+    application's pre-allocation times *cluster_headroom*", which is how the
+    paper sizes its platform.
+    """
+
+    cluster_nodes: int = 0
+    cluster_headroom: float = 1.16
+
+    def __post_init__(self) -> None:
+        if self.cluster_nodes < 0:
+            raise ValueError("cluster_nodes must be >= 0 (0 = derive)")
+        if self.cluster_headroom < 1.0:
+            raise ValueError("cluster_headroom must be >= 1")
+
+    def to_dict(self) -> Dict:
+        return _jsonify(asdict(self))
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PlatformSpec":
+        return cls(**_filter_kwargs(cls, data))
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The application mix submitted to the RMS.
+
+    The default is the paper's evaluation workload: one non-predictably
+    evolving AMR application plus the PSA(s) of the active scale.  Rigid
+    batch jobs (generated or replayed from a trace file) can be layered on
+    top to exercise mixed classical + evolving load.
+    """
+
+    #: Submit the evolving AMR application (the paper's NEA).
+    include_amr: bool = True
+    #: PSA task durations, seconds.  Empty means "use the scale's PSA1"
+    #: while the AMR is included, and "no PSAs" in AMR-free scenarios.
+    psa_task_durations: Tuple[float, ...] = ()
+    #: Pre-allocation overcommit factor of the AMR (Figure 9's x-axis).
+    overcommit: float = 1.0
+    #: Announce interval of AMR updates, seconds (0 = spontaneous).
+    announce_interval: float = 0.0
+    #: Force the AMR to hold its whole pre-allocation (static baseline).
+    static_allocation: bool = False
+    #: Number of background rigid batch jobs (0 = none).
+    rigid_job_count: int = 0
+    #: Largest rigid job, nodes.
+    rigid_max_nodes: int = 32
+    #: Mean inter-arrival time of rigid jobs, seconds.
+    rigid_mean_interarrival: float = 400.0
+    #: Median runtime of rigid jobs, seconds (their tail is capped at 10x).
+    rigid_runtime_median: float = 1800.0
+    #: Optional SWF-like trace file to replay instead of generated rigid jobs.
+    trace_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "psa_task_durations", tuple(float(d) for d in self.psa_task_durations)
+        )
+        if any(d <= 0 for d in self.psa_task_durations):
+            raise ValueError("psa_task_durations must be positive")
+        if self.overcommit <= 0:
+            raise ValueError("overcommit must be positive")
+        if self.announce_interval < 0:
+            raise ValueError("announce_interval must be >= 0")
+        if self.rigid_job_count < 0:
+            raise ValueError("rigid_job_count must be >= 0")
+        if self.rigid_runtime_median <= 0:
+            raise ValueError("rigid_runtime_median must be positive")
+
+    def to_dict(self) -> Dict:
+        return _jsonify(asdict(self))
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "WorkloadSpec":
+        kwargs = _filter_kwargs(cls, data)
+        if "psa_task_durations" in kwargs:
+            kwargs["psa_task_durations"] = tuple(kwargs["psa_task_durations"])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class RmsSpec:
+    """Configuration of the CooRMv2 RMS under test."""
+
+    rescheduling_interval: float = 1.0
+    strict_equipartition: bool = False
+    kill_protocol_violators: bool = False
+    violation_grace: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.rescheduling_interval < 0:
+            raise ValueError("rescheduling_interval must be >= 0")
+        if self.violation_grace < 0:
+            raise ValueError("violation_grace must be >= 0")
+
+    def to_dict(self) -> Dict:
+        return _jsonify(asdict(self))
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RmsSpec":
+        return cls(**_filter_kwargs(cls, data))
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named, fully-described simulation scenario.
+
+    ``runner`` names an executor registered in
+    :mod:`repro.campaign.registry` (``amr_psa`` is the generic paper
+    scenario; ``fig1`` ... ``fig11`` reproduce the paper's figures).
+    ``params`` carries runner-specific knobs such as the overcommit sweep of
+    Figure 9.  ``metrics`` optionally restricts which metric keys are kept
+    in the result records (empty = keep everything).
+    """
+
+    name: str
+    runner: str = "amr_psa"
+    scale: str = "tiny"
+    description: str = ""
+    platform: PlatformSpec = field(default_factory=PlatformSpec)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    rms: RmsSpec = field(default_factory=RmsSpec)
+    params: Mapping[str, object] = field(default_factory=dict)
+    metrics: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must not be empty")
+        if not self.runner:
+            raise ValueError("scenario runner must not be empty")
+        if self.scale not in SCALE_NAMES:
+            raise ValueError(f"scale must be one of {SCALE_NAMES}, got {self.scale!r}")
+        object.__setattr__(self, "params", dict(self.params))
+        object.__setattr__(self, "metrics", tuple(str(m) for m in self.metrics))
+
+    def with_scale(self, scale: str) -> "ScenarioSpec":
+        return replace(self, scale=scale)
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "runner": self.runner,
+            "scale": self.scale,
+            "description": self.description,
+            "platform": self.platform.to_dict(),
+            "workload": self.workload.to_dict(),
+            "rms": self.rms.to_dict(),
+            "params": _jsonify(dict(self.params)),
+            "metrics": list(self.metrics),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ScenarioSpec":
+        kwargs = _filter_kwargs(cls, data)
+        if "platform" in kwargs:
+            kwargs["platform"] = PlatformSpec.from_dict(kwargs["platform"])
+        if "workload" in kwargs:
+            kwargs["workload"] = WorkloadSpec.from_dict(kwargs["workload"])
+        if "rms" in kwargs:
+            kwargs["rms"] = RmsSpec.from_dict(kwargs["rms"])
+        if "metrics" in kwargs:
+            kwargs["metrics"] = tuple(kwargs["metrics"])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A set of scenarios swept over a seed range.
+
+    Every (scenario, replicate) pair becomes one run whose seed is
+    ``derive_seed(root_seed, scenario.name, replicate)`` -- fully determined
+    by the spec, never by execution order or worker count.
+    """
+
+    name: str
+    scenarios: Tuple[ScenarioSpec, ...]
+    seeds: int = 1
+    root_seed: int = 0
+    workers: int = 1
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("campaign name must not be empty")
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        if not self.scenarios:
+            raise ValueError("campaign needs at least one scenario")
+        names = [s.name for s in self.scenarios]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate scenario names in campaign: {names}")
+        if self.seeds <= 0:
+            raise ValueError("seeds must be positive")
+        if self.workers <= 0:
+            raise ValueError("workers must be positive")
+
+    @property
+    def run_count(self) -> int:
+        return len(self.scenarios) * self.seeds
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "scenarios": [s.to_dict() for s in self.scenarios],
+            "seeds": self.seeds,
+            "root_seed": self.root_seed,
+            "workers": self.workers,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CampaignSpec":
+        kwargs = _filter_kwargs(cls, data)
+        kwargs["scenarios"] = tuple(
+            ScenarioSpec.from_dict(s) for s in kwargs.get("scenarios", ())
+        )
+        return cls(**kwargs)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "CampaignSpec":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def resolve_scale(spec: ScenarioSpec) -> EvaluationScale:
+    """Build the :class:`EvaluationScale` a scenario runs at.
+
+    The named scale supplies the size knobs; the scenario's RMS and platform
+    sections override the scheduling interval and the cluster headroom.
+    """
+    scale: EvaluationScale = getattr(EvaluationScale, spec.scale)()
+    return replace(
+        scale,
+        rescheduling_interval=spec.rms.rescheduling_interval,
+        cluster_headroom=spec.platform.cluster_headroom,
+    )

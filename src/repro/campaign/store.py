@@ -1,0 +1,189 @@
+"""Persistent, append-friendly storage of campaign results.
+
+Layout (one directory per campaign under the store root)::
+
+    <root>/
+      <campaign>/
+        campaign.json   # the CampaignSpec that produced the results
+        runs.jsonl      # one JSON record per (scenario, replicate) run
+        meta.json       # wall-clock / worker info of the last execution
+
+``runs.jsonl`` is written deterministically: records are sorted by
+(scenario order, replicate) and serialised with sorted keys, so two
+executions of the same campaign produce **byte-identical** run files no
+matter how many workers they used.  Everything non-deterministic (timings,
+worker counts, timestamps) lives in ``meta.json``.
+"""
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..metrics.collector import median_summary
+from .spec import CampaignSpec
+
+__all__ = ["CampaignInfo", "ResultStore", "DEFAULT_RESULTS_DIR"]
+
+#: Default store root, overridable with the ``REPRO_RESULTS_DIR`` variable.
+DEFAULT_RESULTS_DIR = "results"
+
+_RUNS_FILE = "runs.jsonl"
+_SPEC_FILE = "campaign.json"
+_META_FILE = "meta.json"
+
+
+@dataclass(frozen=True)
+class CampaignInfo:
+    """Directory-listing summary of one stored campaign."""
+
+    name: str
+    run_count: int
+    scenarios: Tuple[str, ...]
+    path: str
+
+
+def _record_sort_key(scenario_order: Mapping[str, int]):
+    def key(record: Mapping) -> Tuple[int, str, int]:
+        name = str(record.get("scenario", ""))
+        return (scenario_order.get(name, len(scenario_order)), name, int(record.get("replicate", 0)))
+
+    return key
+
+
+class ResultStore:
+    """JSON-lines result store rooted at a results directory."""
+
+    def __init__(self, root: Union[str, Path, None] = None):
+        if root is None:
+            root = os.environ.get("REPRO_RESULTS_DIR", DEFAULT_RESULTS_DIR)
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------ #
+    # Paths
+    # ------------------------------------------------------------------ #
+    def campaign_dir(self, name: str) -> Path:
+        if not name or "/" in name or name.startswith("."):
+            raise ValueError(f"invalid campaign name: {name!r}")
+        return self.root / name
+
+    def runs_path(self, name: str) -> Path:
+        return self.campaign_dir(name) / _RUNS_FILE
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def save_campaign(
+        self,
+        spec: CampaignSpec,
+        records: Sequence[Mapping],
+        meta: Optional[Mapping] = None,
+        append: bool = False,
+    ) -> Path:
+        """Persist one campaign execution; returns the campaign directory.
+
+        Records are re-ordered deterministically before writing.  With
+        ``append=True`` new records are added after the existing ones (the
+        per-execution block is still deterministically ordered), which keeps
+        benchmark trajectories across repeated executions.
+        """
+        directory = self.campaign_dir(spec.name)
+        directory.mkdir(parents=True, exist_ok=True)
+
+        order = {s.name: i for i, s in enumerate(spec.scenarios)}
+        ordered = sorted(records, key=_record_sort_key(order))
+        lines = "".join(
+            json.dumps(dict(r), sort_keys=True, allow_nan=False) + "\n" for r in ordered
+        )
+        mode = "a" if append else "w"
+        with open(directory / _RUNS_FILE, mode, encoding="utf-8") as fh:
+            fh.write(lines)
+
+        (directory / _SPEC_FILE).write_text(spec.to_json() + "\n", encoding="utf-8")
+        if meta is not None:
+            (directory / _META_FILE).write_text(
+                json.dumps(dict(meta), indent=2, sort_keys=True) + "\n", encoding="utf-8"
+            )
+        return directory
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def list_campaigns(self) -> List[CampaignInfo]:
+        """Summaries of every campaign stored under the root, sorted by name."""
+        if not self.root.is_dir():
+            return []
+        infos: List[CampaignInfo] = []
+        for directory in sorted(self.root.iterdir()):
+            if not (directory / _RUNS_FILE).is_file():
+                continue
+            records = self.load_records(directory.name)
+            scenarios = tuple(
+                dict.fromkeys(str(r.get("scenario", "")) for r in records)
+            )
+            infos.append(
+                CampaignInfo(
+                    name=directory.name,
+                    run_count=len(records),
+                    scenarios=scenarios,
+                    path=str(directory),
+                )
+            )
+        return infos
+
+    def load_records(self, name: str) -> List[Dict]:
+        """Every run record of a campaign, in file order."""
+        path = self.runs_path(name)
+        if not path.is_file():
+            raise FileNotFoundError(
+                f"campaign {name!r} has no runs at {path}; "
+                f"known campaigns: {[i.name for i in self.list_campaigns()]}"
+            )
+        records: List[Dict] = []
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+        return records
+
+    def load_spec(self, name: str) -> Optional[CampaignSpec]:
+        path = self.campaign_dir(name) / _SPEC_FILE
+        if not path.is_file():
+            return None
+        return CampaignSpec.from_json(path.read_text(encoding="utf-8"))
+
+    # ------------------------------------------------------------------ #
+    # Analysis
+    # ------------------------------------------------------------------ #
+    def summarize(self, name: str) -> Dict[str, Dict[str, float]]:
+        """Per-scenario medians over replicates: ``{scenario: {metric: median}}``."""
+        by_scenario: Dict[str, List[Mapping]] = {}
+        for record in self.load_records(name):
+            scenario = str(record.get("scenario", ""))
+            by_scenario.setdefault(scenario, []).append(record.get("metrics", {}))
+        return {
+            scenario: median_summary(metrics)
+            for scenario, metrics in by_scenario.items()
+        }
+
+    def compare(
+        self, name_a: str, name_b: str
+    ) -> List[Tuple[str, str, float, float, float]]:
+        """Metric-by-metric comparison of two campaigns' medians.
+
+        Returns ``(scenario, metric, a, b, b - a)`` rows for every metric
+        present in both campaigns, in deterministic order.
+        """
+        summary_a = self.summarize(name_a)
+        summary_b = self.summarize(name_b)
+        rows: List[Tuple[str, str, float, float, float]] = []
+        for scenario in sorted(set(summary_a) & set(summary_b)):
+            metrics_a = summary_a[scenario]
+            metrics_b = summary_b[scenario]
+            for metric in sorted(set(metrics_a) & set(metrics_b)):
+                a, b = metrics_a[metric], metrics_b[metric]
+                rows.append((scenario, metric, a, b, b - a))
+        return rows

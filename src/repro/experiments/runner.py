@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..apps.nea import AmrApplication
 from ..apps.psa import ParameterSweepApplication
+from ..apps.rigid import RigidApplication
 from ..cluster.platform import Platform
 from ..core.rms import CooRMv2
 from ..metrics.collector import SimulationMetrics
@@ -24,6 +25,7 @@ from ..models.amr_evolution import AmrEvolutionParameters, WorkingSetEvolution
 from ..models.speedup import PAPER_SPEEDUP_MODEL, SpeedupModel, TIB_IN_MIB
 from ..models.static_equivalent import equivalent_static_allocation
 from ..sim.engine import Simulator
+from ..workloads.generator import RigidJobSpec
 
 __all__ = ["EvaluationScale", "ScenarioResult", "build_evolution", "run_scenario"]
 
@@ -87,13 +89,15 @@ class ScenarioResult:
     """Everything an experiment needs from one simulated scenario."""
 
     metrics: SimulationMetrics
-    amr: AmrApplication
+    amr: Optional[AmrApplication]
     psas: List[ParameterSweepApplication]
     rms: CooRMv2
     #: The user's "ideal" pre-allocation guess (the equivalent static
     #: allocation computed with a-posteriori knowledge), before overcommit.
     ideal_preallocation: int
     cluster_nodes: int
+    #: Background rigid batch jobs (empty unless the scenario mixes them in).
+    rigid_apps: List[RigidApplication] = field(default_factory=list)
 
 
 def build_evolution(
@@ -144,6 +148,12 @@ def run_scenario(
     strict_equipartition: bool = False,
     speedup_model: SpeedupModel = PAPER_SPEEDUP_MODEL,
     evolution: Optional[WorkingSetEvolution] = None,
+    include_amr: bool = True,
+    rigid_jobs: Optional[Sequence[RigidJobSpec]] = None,
+    cluster_nodes: Optional[int] = None,
+    kill_protocol_violators: bool = False,
+    violation_grace: float = 30.0,
+    horizon: Optional[float] = None,
 ) -> ScenarioResult:
     """Run one AMR + PSA(s) scenario and collect its metrics.
 
@@ -152,6 +162,13 @@ def run_scenario(
     switches between spontaneous and announced updates (Figure 10),
     *psa_task_durations* selects one or two PSAs (Figure 11) and
     *strict_equipartition* selects the baseline sharing policy.
+
+    The campaign layer adds a few composition knobs: *include_amr* drops the
+    evolving application (PSA/rigid-only scenarios), *rigid_jobs* layers a
+    stream of classical batch jobs on top of the paper workload (each job is
+    submitted to the RMS at its trace submit time), *cluster_nodes* pins the
+    platform size instead of deriving it from the AMR pre-allocation, and
+    *kill_protocol_violators* / *violation_grace* forward to the RMS.
     """
     if overcommit <= 0:
         raise ValueError("overcommit must be positive")
@@ -162,7 +179,12 @@ def run_scenario(
         evolution = build_evolution(scale, seed=seed, model=speedup_model)
     ideal = ideal_preallocation_nodes(evolution, scale, speedup_model)
     preallocation = max(1, int(round(ideal * overcommit)))
-    cluster_nodes = max(preallocation + 1, int(math.ceil(preallocation * scale.cluster_headroom)))
+    if cluster_nodes is None:
+        cluster_nodes = max(
+            preallocation + 1, int(math.ceil(preallocation * scale.cluster_headroom))
+        )
+    if cluster_nodes <= 0:
+        raise ValueError("cluster_nodes must be positive")
 
     simulator = Simulator()
     platform = Platform.single_cluster(cluster_nodes)
@@ -171,30 +193,49 @@ def run_scenario(
         simulator,
         rescheduling_interval=scale.rescheduling_interval,
         strict_equipartition=strict_equipartition,
+        kill_protocol_violators=kill_protocol_violators,
+        violation_grace=violation_grace,
     )
 
-    amr = AmrApplication(
-        name="amr",
-        evolution=evolution,
-        preallocation_nodes=preallocation,
-        target_efficiency=scale.target_efficiency,
-        announce_interval=announce_interval,
-        static_allocation=static_allocation,
-        speedup_model=speedup_model,
-    )
+    amr: Optional[AmrApplication] = None
+    if include_amr:
+        amr = AmrApplication(
+            name="amr",
+            evolution=evolution,
+            preallocation_nodes=preallocation,
+            target_efficiency=scale.target_efficiency,
+            announce_interval=announce_interval,
+            static_allocation=static_allocation,
+            speedup_model=speedup_model,
+        )
     psas = [
         ParameterSweepApplication(f"psa{i + 1}", task_duration=duration)
         for i, duration in enumerate(psa_task_durations)
     ]
-    amr.on_finished = lambda _app: [psa.shutdown() for psa in psas]
-
-    amr.connect(rms)
+    if amr is not None:
+        amr.on_finished = lambda _app: [psa.shutdown() for psa in psas]
+        amr.connect(rms)
     for psa in psas:
         psa.connect(rms)
 
+    rigid_apps: List[RigidApplication] = []
+    for job in rigid_jobs or ():
+        app = RigidApplication(
+            job.job_id, node_count=job.node_count, duration=job.duration
+        )
+        simulator.schedule_at(job.submit_time, app.connect, rms)
+        rigid_apps.append(app)
+
+    if amr is None and psas:
+        # Without an AMR nothing shuts the (otherwise endless) PSAs down;
+        # stop them once the rigid stream is over or after one PSA1 horizon.
+        last_submit = max((j.submit_time + j.duration for j in rigid_jobs or ()), default=0.0)
+        stop_at = max(last_submit, 10.0 * scale.psa1_task_duration)
+        simulator.schedule_at(stop_at, lambda: [psa.shutdown() for psa in psas])
+
     simulator.run()
 
-    metrics = SimulationMetrics.collect(rms, amr=amr, psas=psas)
+    metrics = SimulationMetrics.collect(rms, amr=amr, psas=psas, horizon=horizon)
     return ScenarioResult(
         metrics=metrics,
         amr=amr,
@@ -202,4 +243,5 @@ def run_scenario(
         rms=rms,
         ideal_preallocation=ideal,
         cluster_nodes=cluster_nodes,
+        rigid_apps=rigid_apps,
     )

@@ -18,14 +18,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from ..apps.nea import AmrApplication
 from ..apps.psa import ParameterSweepApplication
 from ..core.rms import CooRMv2
 from ..core.types import RequestType, Time
 
-__all__ = ["SimulationMetrics", "summarize_runs"]
+__all__ = ["SimulationMetrics", "summarize_runs", "median_summary"]
 
 
 @dataclass
@@ -61,6 +61,28 @@ class SimulationMetrics:
             return 0.0
         useful = self.total_allocated_node_seconds - self.psa_waste_node_seconds
         return 100.0 * useful / self.capacity_node_seconds
+
+    def to_dict(self) -> Dict[str, float]:
+        """Flat, JSON-friendly mapping of every metric (fields + derived).
+
+        Non-finite values (an unfinished AMR reports a NaN end time) are
+        mapped to ``None`` so the result is valid strict JSON; this is what
+        campaign result stores persist per run.
+        """
+        def clean(value: float) -> Optional[float]:
+            return float(value) if math.isfinite(value) else None
+
+        return {
+            "horizon": clean(self.horizon),
+            "capacity_node_seconds": clean(self.capacity_node_seconds),
+            "amr_used_node_seconds": clean(self.amr_used_node_seconds),
+            "amr_end_time": clean(self.amr_end_time),
+            "psa_waste_node_seconds": clean(self.psa_waste_node_seconds),
+            "psa_completed_node_seconds": clean(self.psa_completed_node_seconds),
+            "total_allocated_node_seconds": clean(self.total_allocated_node_seconds),
+            "psa_waste_percent": clean(self.psa_waste_percent),
+            "used_resources_percent": clean(self.used_resources_percent),
+        }
 
     @classmethod
     def collect(
@@ -145,3 +167,31 @@ def summarize_runs(metrics: Iterable[SimulationMetrics]) -> Dict[str, float]:
         "psa_waste_percent": median([m.psa_waste_percent for m in runs]),
         "used_resources_percent": median([m.used_resources_percent for m in runs]),
     }
+
+
+def median_summary(records: Iterable[Mapping[str, object]]) -> Dict[str, float]:
+    """Per-key medians over a list of flat metric mappings.
+
+    This is the dict-level counterpart of :func:`summarize_runs`, used by the
+    campaign result store: records are arbitrary flat ``{metric: value}``
+    mappings (as produced by scenario runners) and only numeric values
+    participate -- missing or ``None`` entries are skipped per key.
+    """
+    values: Dict[str, List[float]] = {}
+    for record in records:
+        for key, value in record.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            if not math.isfinite(value):
+                continue
+            values.setdefault(key, []).append(float(value))
+
+    def median(samples: List[float]) -> float:
+        samples = sorted(samples)
+        n = len(samples)
+        mid = n // 2
+        if n % 2:
+            return samples[mid]
+        return 0.5 * (samples[mid - 1] + samples[mid])
+
+    return {key: median(samples) for key, samples in sorted(values.items())}

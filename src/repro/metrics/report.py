@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Mapping, Sequence, Union
 
-__all__ = ["format_table", "format_series", "format_percent"]
+__all__ = ["format_table", "format_series", "format_percent", "format_comparison"]
 
 Number = Union[int, float]
 
@@ -44,6 +44,26 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
     lines = [fmt_row(list(headers)), "-+-".join("-" * w for w in widths)]
     lines.extend(fmt_row(row) for row in str_rows)
     return "\n".join(lines)
+
+
+def format_comparison(
+    rows: Iterable[Sequence],
+    label_a: str = "a",
+    label_b: str = "b",
+) -> str:
+    """Render ``(scenario, metric, a, b, delta)`` comparison rows as a table.
+
+    Used by ``python -m repro campaign report --compare`` to show how two
+    campaigns' per-scenario median metrics differ; the relative change column
+    is blank when the reference value is zero.
+    """
+    table_rows = []
+    for scenario, metric, a, b, delta in rows:
+        relative = f"{100.0 * delta / a:+.1f}%" if a else ""
+        table_rows.append((scenario, metric, a, b, delta, relative))
+    return format_table(
+        ["scenario", "metric", label_a, label_b, "delta", "rel"], table_rows
+    )
 
 
 def format_series(

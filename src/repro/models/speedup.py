@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Tuple
+from functools import lru_cache
+from typing import Dict, Iterable, List, Tuple
 
 import numpy as np
 
@@ -52,11 +53,22 @@ class SpeedupModel:
     # Core quantities
     # ------------------------------------------------------------------ #
     def step_duration(self, nodes: float, size_mib: float) -> float:
-        """Duration (seconds) of one step on *nodes* nodes with *size_mib* data."""
+        """Duration (seconds) of one step on *nodes* nodes with *size_mib* data.
+
+        Memoized: the simulation evaluates the model for the same
+        ``(nodes, size)`` pairs over and over (the working set only changes
+        once per AMR step while the RMS re-schedules every second), so the
+        instances share a bounded LRU cache keyed by the model and the
+        arguments.
+        """
         if nodes <= 0:
             raise ValueError("nodes must be positive")
         if size_mib < 0:
             raise ValueError("size_mib must be non-negative")
+        return self._step_duration_cached(float(nodes), float(size_mib))
+
+    @lru_cache(maxsize=1 << 17)
+    def _step_duration_cached(self, nodes: float, size_mib: float) -> float:
         return self.a * size_mib / nodes + self.b * nodes + self.c * size_mib + self.d
 
     def step_duration_array(self, nodes: np.ndarray, size_mib: float) -> np.ndarray:
@@ -92,6 +104,14 @@ class SpeedupModel:
             raise ValueError("target_efficiency must be in (0, 1]")
         if size_mib < 0:
             raise ValueError("size_mib must be non-negative")
+        return self._nodes_for_efficiency_cached(
+            float(size_mib), float(target_efficiency), int(max_nodes)
+        )
+
+    @lru_cache(maxsize=1 << 16)
+    def _nodes_for_efficiency_cached(
+        self, size_mib: float, target_efficiency: float, max_nodes: int
+    ) -> int:
         if self.efficiency(1, size_mib) < target_efficiency:
             return 1
         lo, hi = 1, 2
@@ -129,6 +149,24 @@ class SpeedupModel:
         if size_mib <= 0:
             return 1.0
         return math.sqrt(self.a * size_mib / self.b)
+
+
+    # ------------------------------------------------------------------ #
+    # Cache management (shared, bounded LRU caches across all instances)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def cache_stats(cls) -> Dict[str, Tuple[int, int, int, int]]:
+        """``functools.lru_cache`` info of every memoized model method."""
+        return {
+            "step_duration": tuple(cls._step_duration_cached.cache_info()),
+            "nodes_for_efficiency": tuple(cls._nodes_for_efficiency_cached.cache_info()),
+        }
+
+    @classmethod
+    def clear_caches(cls) -> None:
+        """Drop all memoized evaluations (mainly for benchmarks and tests)."""
+        cls._step_duration_cached.cache_clear()
+        cls._nodes_for_efficiency_cached.cache_clear()
 
 
 #: The exact constants published in the paper (Section 2.2).

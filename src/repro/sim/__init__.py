@@ -1,5 +1,12 @@
 """Discrete-event simulation substrate used by the evaluation."""
 from .engine import EventHandle, Process, Simulator
-from .randomness import RandomSource, spawn_streams
+from .randomness import RandomSource, derive_seed, spawn_streams
 
-__all__ = ["EventHandle", "Process", "Simulator", "RandomSource", "spawn_streams"]
+__all__ = [
+    "EventHandle",
+    "Process",
+    "Simulator",
+    "RandomSource",
+    "derive_seed",
+    "spawn_streams",
+]

@@ -4,14 +4,49 @@ All stochastic components of the library (the AMR working-set model, workload
 generators, experiment replications) draw their randomness through
 :class:`RandomSource` so that every experiment is exactly reproducible from a
 single integer seed.
+
+For parallel experiment campaigns the seed of every run is *derived*, not
+drawn: :func:`derive_seed` hashes the root seed together with a stable task
+identity (scenario name, replicate index, ...) so that the seed of a run does
+not depend on how the runs are ordered or distributed over worker processes.
 """
 from __future__ import annotations
 
+import hashlib
 from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["RandomSource", "spawn_streams"]
+__all__ = ["RandomSource", "derive_seed", "spawn_streams"]
+
+#: derive_seed() returns non-negative seeds strictly below this bound, which
+#: keeps them inside the range numpy accepts as a single-integer seed.
+MAX_DERIVED_SEED = 2**63
+
+
+def derive_seed(root: Optional[int], *components) -> int:
+    """Derive a child seed from *root* and a stable task identity.
+
+    The derivation hashes (SHA-256) the textual representation of the root
+    seed and every component, so it is
+
+    * **deterministic** across processes and Python versions (unlike the
+      built-in ``hash``, which is salted per process);
+    * **order-independent across tasks**: the seed of task *i* never depends
+      on how many other tasks ran before it, which makes parallel campaigns
+      reproducible regardless of worker scheduling order;
+    * **well-mixed**: nearby roots / replicate indices yield unrelated seeds.
+
+    Components may be ints, strings, floats or tuples thereof; they are
+    separated by an escape byte so ``("ab", "c")`` and ``("a", "bc")`` derive
+    different seeds.
+    """
+    digest = hashlib.sha256()
+    digest.update(repr(None if root is None else int(root)).encode("utf-8"))
+    for component in components:
+        digest.update(b"\x1f")
+        digest.update(repr(component).encode("utf-8"))
+    return int.from_bytes(digest.digest()[:8], "big") % MAX_DERIVED_SEED
 
 
 class RandomSource:
@@ -52,6 +87,22 @@ class RandomSource:
         """Derive an independent child stream (stable under numpy spawning)."""
         child_seed = int(self._rng.integers(0, 2**31 - 1))
         return RandomSource(child_seed)
+
+    def derive(self, *components) -> "RandomSource":
+        """Derive an independent child stream from a stable identity.
+
+        Unlike :meth:`spawn`, this does not advance (or depend on) the state
+        of this source: the child is fully determined by this source's seed
+        and *components* (see :func:`derive_seed`), so it can be used from
+        parallel workers in any order.
+
+        An unseeded source has no reproducible identity to derive from, so
+        its children are entropy-seeded (still independent, never the
+        deterministic ``derive_seed(None, ...)`` constant).
+        """
+        if self.seed is None:
+            return RandomSource(None)
+        return RandomSource(derive_seed(self.seed, *components))
 
 
 def spawn_streams(seed: Optional[int], count: int) -> Iterator[RandomSource]:

@@ -10,8 +10,8 @@ tests and examples can exercise the RMS under mixed load.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, List, Mapping, Optional
 
 from ..sim.randomness import RandomSource
 
@@ -62,6 +62,20 @@ class WorkloadParameters:
             raise ValueError("node bounds must satisfy 1 <= min <= max")
         if not 0 < self.min_runtime <= self.max_runtime:
             raise ValueError("runtime bounds must satisfy 0 < min <= max")
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly representation (for campaign scenario specs)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "WorkloadParameters":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"WorkloadParameters does not understand field(s): {sorted(unknown)}"
+            )
+        return cls(**dict(data))
 
 
 def generate_rigid_workload(

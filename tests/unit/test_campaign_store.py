@@ -1,0 +1,122 @@
+"""ResultStore: append/load, deterministic files, summaries, comparison."""
+import json
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec, ScenarioSpec
+from repro.campaign.store import ResultStore
+
+
+def make_spec(name="camp", scenario_names=("s1", "s2"), seeds=2) -> CampaignSpec:
+    return CampaignSpec(
+        name=name,
+        scenarios=tuple(ScenarioSpec(name=n) for n in scenario_names),
+        seeds=seeds,
+    )
+
+
+def make_records(scenario_names=("s1", "s2"), seeds=2, offset=0.0):
+    records = []
+    for name in scenario_names:
+        for replicate in range(seeds):
+            records.append(
+                {
+                    "scenario": name,
+                    "replicate": replicate,
+                    "seed": 1000 + replicate,
+                    "runner": "amr_psa",
+                    "scale": "tiny",
+                    "metrics": {"value": offset + replicate, "label": name},
+                }
+            )
+    return records
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = make_spec()
+        records = make_records()
+        store.save_campaign(spec, records, meta={"workers": 2})
+
+        assert store.load_records("camp") == records
+        assert store.load_spec("camp") == spec
+
+    def test_records_are_written_in_canonical_order(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = make_spec()
+        shuffled = list(reversed(make_records()))
+        store.save_campaign(spec, shuffled, meta=None)
+        loaded = store.load_records("camp")
+        assert [(r["scenario"], r["replicate"]) for r in loaded] == [
+            ("s1", 0), ("s1", 1), ("s2", 0), ("s2", 1),
+        ]
+
+    def test_rewrite_is_byte_identical(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = make_spec()
+        store.save_campaign(spec, make_records())
+        first = store.runs_path("camp").read_bytes()
+        store.save_campaign(spec, list(reversed(make_records())))
+        assert store.runs_path("camp").read_bytes() == first
+
+    def test_append_keeps_history(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = make_spec()
+        store.save_campaign(spec, make_records(offset=0.0))
+        store.save_campaign(spec, make_records(offset=10.0), append=True)
+        records = store.load_records("camp")
+        assert len(records) == 8
+        assert records[0]["metrics"]["value"] == 0.0
+        assert records[4]["metrics"]["value"] == 10.0
+
+    def test_jsonl_is_strict_json(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save_campaign(make_spec(), make_records())
+        for line in store.runs_path("camp").read_text().splitlines():
+            json.loads(line)
+
+    def test_missing_campaign_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="nope"):
+            ResultStore(tmp_path).load_records("nope")
+
+    def test_invalid_name_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for bad in ("", "../etc", ".hidden"):
+            with pytest.raises(ValueError):
+                store.campaign_dir(bad)
+
+
+class TestListing:
+    def test_empty_root(self, tmp_path):
+        assert ResultStore(tmp_path / "missing").list_campaigns() == []
+
+    def test_listing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save_campaign(make_spec("alpha"), make_records())
+        store.save_campaign(make_spec("beta", ("s3",)), make_records(("s3",)))
+        infos = store.list_campaigns()
+        assert [i.name for i in infos] == ["alpha", "beta"]
+        assert infos[0].run_count == 4
+        assert infos[0].scenarios == ("s1", "s2")
+        assert infos[1].scenarios == ("s3",)
+
+
+class TestSummaries:
+    def test_summarize_medians_per_scenario(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save_campaign(make_spec(seeds=3), make_records(seeds=3))
+        summary = store.summarize("camp")
+        # values are 0, 1, 2 per scenario -> median 1; strings are skipped
+        assert summary["s1"] == {"value": 1.0}
+        assert summary["s2"] == {"value": 1.0}
+
+    def test_compare(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save_campaign(make_spec("first"), make_records(offset=0.0))
+        store.save_campaign(make_spec("second"), make_records(offset=2.0))
+        rows = store.compare("first", "second")
+        assert rows == [
+            ("s1", "value", 0.5, 2.5, 2.0),
+            ("s2", "value", 0.5, 2.5, 2.0),
+        ]

@@ -104,3 +104,39 @@ class TestNodesForEfficiency:
         series = PAPER_SPEEDUP_MODEL.duration_series([1, 2, 4], 1e5)
         assert [n for n, _ in series] == [1, 2, 4]
         assert series[0][1] > series[2][1]
+
+
+class TestMemoization:
+    def test_step_duration_is_cached(self):
+        model = SpeedupModel()
+        SpeedupModel.clear_caches()
+        first = model.step_duration(64, 1e5)
+        before = SpeedupModel.cache_stats()["step_duration"]
+        second = model.step_duration(64, 1e5)
+        after = SpeedupModel.cache_stats()["step_duration"]
+        assert first == second
+        assert after[0] == before[0] + 1  # one more cache hit
+
+    def test_nodes_for_efficiency_is_cached(self):
+        model = SpeedupModel()
+        SpeedupModel.clear_caches()
+        first = model.nodes_for_efficiency(1e6, 0.75)
+        second = model.nodes_for_efficiency(1e6, 0.75)
+        after = SpeedupModel.cache_stats()["nodes_for_efficiency"]
+        assert first == second
+        assert after[0] >= 1
+
+    def test_cache_distinguishes_models(self):
+        a = SpeedupModel()
+        b = SpeedupModel(a=2 * a.a)
+        assert a.step_duration(8, 1e5) != b.step_duration(8, 1e5)
+
+    def test_validation_still_raises(self):
+        with pytest.raises(ValueError):
+            SpeedupModel().step_duration(0, 1e5)
+        with pytest.raises(ValueError):
+            SpeedupModel().nodes_for_efficiency(1e5, 0.0)
+
+    def test_int_and_float_arguments_agree(self):
+        model = SpeedupModel()
+        assert model.step_duration(8, 1e5) == model.step_duration(8.0, 1e5)
