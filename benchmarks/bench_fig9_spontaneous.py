@@ -6,7 +6,7 @@ form as the figure's two panels (AMR used resources and PSA waste).
 """
 from __future__ import annotations
 
-from repro.experiments import EvaluationScale, fig9_spontaneous, run_scenario
+from repro.experiments import fig9_spontaneous, run_scenario
 
 BENCH_OVERCOMMITS = (0.5, 1.0, 2.0, 5.0)
 

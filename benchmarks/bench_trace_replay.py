@@ -1,0 +1,76 @@
+"""Benchmark of the workload-trace pipeline: ingest, convert, replay.
+
+The first two benchmarks time the text-level hot path -- parsing a full
+18-field SWF trace and converting it into adaptive application kinds -- and
+assert the subsystem's throughput floor of 10k jobs ingested+converted per
+second.  The replay benchmark runs a converted trace through a whole
+simulation to show the end-to-end cost of trace-driven evaluation.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_trace_replay.py --benchmark-only -s
+"""
+from __future__ import annotations
+
+import time
+
+from repro.campaign import CampaignRunner, CampaignSpec, resolve_scenarios
+from repro.traces import (
+    AdaptiveMix,
+    TraceModel,
+    convert_trace,
+    dumps_swf,
+    loads_swf,
+)
+
+#: Jobs in the benchmark trace (big enough to smooth out fixed costs).
+JOB_COUNT = 20_000
+#: The acceptance floor: jobs ingested + converted per second.
+THROUGHPUT_FLOOR = 10_000
+
+MIX = AdaptiveMix(rigid=0.4, moldable=0.2, malleable=0.2, evolving=0.2)
+
+
+def make_swf_text(jobs: int = JOB_COUNT) -> str:
+    return dumps_swf(TraceModel().synthesize(jobs, seed=123))
+
+
+def test_ingest_throughput(benchmark):
+    """Parse a 20k-job SWF trace from text."""
+    text = make_swf_text()
+    trace = benchmark(lambda: loads_swf(text))
+    assert trace.job_count == JOB_COUNT
+
+
+def test_ingest_and_convert_throughput(benchmark):
+    """Parse + adaptive-convert; asserts the 10k jobs/s floor."""
+    text = make_swf_text()
+
+    def ingest_and_convert():
+        trace = loads_swf(text)
+        return convert_trace(trace, mix=MIX, seed=0)
+
+    jobs = benchmark(ingest_and_convert)
+    assert len(jobs) == JOB_COUNT
+
+    started = time.perf_counter()
+    ingest_and_convert()
+    elapsed = time.perf_counter() - started
+    rate = JOB_COUNT / elapsed
+    print(f"\ningest+convert: {rate:,.0f} jobs/s (floor {THROUGHPUT_FLOOR:,})")
+    assert rate >= THROUGHPUT_FLOOR
+
+
+def test_campaign_trace_replay(benchmark):
+    """Replay the built-in 200-job synthetic trace scenario end to end."""
+    spec = CampaignSpec(
+        name="bench-trace-replay",
+        scenarios=tuple(resolve_scenarios(["trace-replay"])),
+    )
+
+    def run():
+        return CampaignRunner(spec).run(workers=1)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    metrics = result.metrics_of("trace-replay")
+    assert metrics["trace_finished"] == 200

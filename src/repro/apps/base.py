@@ -11,7 +11,7 @@ only encode behaviour.
 from __future__ import annotations
 
 import math
-from typing import FrozenSet, List, Optional, Callable, Tuple
+from typing import FrozenSet, Optional, Callable, Tuple
 
 from ..core.errors import ProtocolError
 from ..core.request import Request

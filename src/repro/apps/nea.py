@@ -15,11 +15,11 @@ only knows the *current* working-set size; it targets a parallel efficiency
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional
 
 from ..core.request import Request
-from ..core.types import ClusterId, NodeId, RelatedHow, RequestType, Time
+from ..core.types import ClusterId, NodeId, RequestType, Time
 from ..models.amr_evolution import WorkingSetEvolution
 from ..models.speedup import PAPER_SPEEDUP_MODEL, SpeedupModel
 from .base import BaseApplication

@@ -10,7 +10,7 @@ pre-allocation scheduling -- which makes head-to-head comparisons meaningful.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..core.cbf import CbfJob, ConservativeBackfillQueue
 from ..workloads.generator import RigidJobSpec

@@ -39,6 +39,7 @@ from .registry import (
     runner_names,
 )
 from .runner import CampaignResult, CampaignRunner, RunTask
+from ..traces.source import TraceSource
 from .spec import (
     CampaignSpec,
     PlatformSpec,
@@ -60,6 +61,7 @@ __all__ = [
     "RmsSpec",
     "RunTask",
     "ScenarioSpec",
+    "TraceSource",
     "WorkloadSpec",
     "builtin_scenarios",
     "get_runner",

@@ -32,10 +32,11 @@ from ..experiments import (
 from ..experiments.runner import run_scenario
 from ..models.amr_evolution import AmrEvolutionParameters, normalized_profile
 from ..sim.randomness import derive_seed
+from ..traces.source import resolve_converted_jobs
 from ..workloads.generator import WorkloadParameters, generate_rigid_workload
-from ..workloads.trace import load_trace
-from .registry import register_runner, register_scenario
-from .spec import RmsSpec, ScenarioSpec, WorkloadSpec, resolve_scale
+from ..workloads.trace import load_trace_cached
+from .registry import record_provenance, register_runner, register_scenario
+from .spec import PlatformSpec, RmsSpec, ScenarioSpec, WorkloadSpec, resolve_scale
 
 __all__ = ["clean_metrics"]
 
@@ -67,13 +68,32 @@ def _finish(spec: ScenarioSpec, metrics: Dict[str, object]) -> Dict[str, object]
     return _apply_metrics_filter(spec, clean_metrics(metrics))
 
 
-def _rigid_jobs_for(spec: ScenarioSpec, seed: int):
-    """The rigid background stream of a scenario, if any."""
+def _background_workload(spec: ScenarioSpec, seed: int):
+    """The background job streams of a scenario: ``(rigid, adaptive)``.
+
+    A declarative trace source produces converted (possibly adaptive) jobs;
+    a bare ``trace_path`` replays the file as plain rigid jobs; otherwise
+    the synthetic rigid generator runs.  Whichever branch fires records its
+    workload provenance for the campaign runner to persist.
+    """
     workload = spec.workload
+    if workload.trace is not None:
+        max_nodes = spec.platform.cluster_nodes or None
+        jobs, provenance = resolve_converted_jobs(
+            workload.trace, seed=seed, max_nodes=max_nodes
+        )
+        record_provenance(provenance)
+        return None, jobs
     if workload.trace_path:
-        return load_trace(workload.trace_path)
+        jobs, fingerprint = load_trace_cached(workload.trace_path)
+        # Fingerprint the content, not just the name: a renamed or
+        # silently-edited replay file stays distinguishable in the store.
+        record_provenance(
+            {"source": {"path": workload.trace_path, "sha256_16": fingerprint}}
+        )
+        return jobs, None
     if workload.rigid_job_count <= 0:
-        return None
+        return None, None
     median = workload.rigid_runtime_median
     params = WorkloadParameters(
         job_count=workload.rigid_job_count,
@@ -84,9 +104,15 @@ def _rigid_jobs_for(spec: ScenarioSpec, seed: int):
         min_runtime=min(60.0, median),
         max_runtime=10.0 * median,
     )
+    record_provenance(
+        {"source": {"generator": params.to_dict()}, "seed_component": "rigid-workload"}
+    )
     # The stream's seed is derived, not reused, so the rigid jobs do not
     # correlate with the AMR evolution drawn from the same run seed.
-    return generate_rigid_workload(params, seed=derive_seed(seed, "rigid-workload"))
+    return (
+        generate_rigid_workload(params, seed=derive_seed(seed, "rigid-workload")),
+        None,
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -105,6 +131,7 @@ def run_amr_psa(spec: ScenarioSpec, seed: int) -> Dict[str, object]:
         durations = workload.psa_task_durations
     else:
         durations = None if workload.include_amr else ()
+    rigid_jobs, adaptive_jobs = _background_workload(spec, seed)
     result = run_scenario(
         scale,
         seed=seed,
@@ -114,7 +141,8 @@ def run_amr_psa(spec: ScenarioSpec, seed: int) -> Dict[str, object]:
         psa_task_durations=durations,
         strict_equipartition=spec.rms.strict_equipartition,
         include_amr=workload.include_amr,
-        rigid_jobs=_rigid_jobs_for(spec, seed),
+        rigid_jobs=rigid_jobs,
+        adaptive_jobs=adaptive_jobs,
         cluster_nodes=spec.platform.cluster_nodes or None,
         kill_protocol_violators=spec.rms.kill_protocol_violators,
         violation_grace=spec.rms.violation_grace,
@@ -125,6 +153,9 @@ def run_amr_psa(spec: ScenarioSpec, seed: int) -> Dict[str, object]:
     if result.rigid_apps:
         metrics["rigid_jobs"] = len(result.rigid_apps)
         metrics["rigid_finished"] = sum(1 for a in result.rigid_apps if a.finished())
+    if result.trace_apps:
+        metrics["trace_jobs"] = len(result.trace_apps)
+        metrics["trace_finished"] = sum(1 for a in result.trace_apps if a.finished())
     return _finish(spec, metrics)
 
 
@@ -304,6 +335,64 @@ register_scenario(
             rigid_max_nodes=16,
             rigid_mean_interarrival=30.0,
             rigid_runtime_median=120.0,
+        ),
+    )
+)
+
+#: Statistical model behind the built-in trace scenarios: Poisson arrivals
+#: every 30 s, ~2-minute median runtimes, power-of-two jobs up to 32 nodes.
+TRACE_SCENARIO_MODEL: Dict[str, Dict] = {
+    "arrivals": {"kind": "poisson", "rate": 1.0 / 30.0},
+    "durations": {
+        "kind": "log_normal_duration",
+        "log_mean": math.log(120.0),
+        "log_sigma": 0.6,
+        "min_seconds": 10.0,
+        "max_seconds": 1200.0,
+    },
+    "nodes": {
+        "kind": "log_uniform_nodes",
+        "min_nodes": 1,
+        "max_nodes": 32,
+        "power_of_two": True,
+    },
+}
+
+register_scenario(
+    ScenarioSpec(
+        name="trace-replay",
+        runner="amr_psa",
+        description="Pure rigid replay of a 200-job model-synthesized trace",
+        platform=PlatformSpec(cluster_nodes=64),
+        workload=WorkloadSpec(
+            include_amr=False,
+            trace={
+                "model": TRACE_SCENARIO_MODEL,
+                "job_count": 200,
+                "transforms": [{"kind": "clamp_nodes", "max_nodes": 64}],
+            },
+        ),
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="trace-adaptive",
+        runner="amr_psa",
+        description="Model-synthesized trace converted to an adaptive app mix",
+        platform=PlatformSpec(cluster_nodes=64),
+        workload=WorkloadSpec(
+            include_amr=False,
+            trace={
+                "model": TRACE_SCENARIO_MODEL,
+                "job_count": 60,
+                "transforms": [{"kind": "clamp_nodes", "max_nodes": 64}],
+                "mix": {
+                    "rigid": 0.4,
+                    "moldable": 0.2,
+                    "malleable": 0.2,
+                    "evolving": 0.2,
+                },
+            },
         ),
     )
 )

@@ -1,4 +1,4 @@
-"""Command-line interface of the campaign subsystem (``python -m repro``).
+"""Command-line interface of ``python -m repro``.
 
 Commands::
 
@@ -7,20 +7,25 @@ Commands::
     python -m repro campaign list
     python -m repro campaign report <name> [--compare <other>]
     python -m repro campaign scenarios
+    python -m repro trace info|convert|synth ...
 
 ``campaign run`` executes the scenario x seed grid in parallel and persists
 one JSON-lines record per run under the results directory (``results/`` by
 default, or ``--results-dir`` / the ``REPRO_RESULTS_DIR`` variable).  Runs
 are deterministic: the same spec writes byte-identical records regardless of
-the worker count.
+the worker count.  The ``trace`` command group
+(:mod:`repro.traces.cli`) inspects, transforms and synthesizes the SWF
+workload traces that trace-driven scenarios replay.
 """
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
 from ..metrics.report import format_comparison, format_table
+from ..traces.cli import add_trace_commands, run_trace_command
 from . import builtin  # noqa: F401  (registers the built-in scenarios)
 from .registry import builtin_scenarios, resolve_scenarios
 from .runner import CampaignRunner
@@ -79,6 +84,8 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--results-dir", default=None, help="result store root")
 
     actions.add_parser("scenarios", help="list built-in scenarios")
+
+    add_trace_commands(commands)
 
     return parser
 
@@ -159,6 +166,39 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _describe_provenance(provenance) -> str:
+    """One human-readable line summarising a workload provenance record."""
+    source = provenance.get("source", {})
+    if isinstance(source, dict) and "path" in source and source.get("path"):
+        description = f"trace file {source['path']}"
+    elif isinstance(source, dict) and source.get("model"):
+        arrivals = source["model"].get("arrivals", {}).get("kind", "?")
+        # An unset source job_count means the default was synthesized; the
+        # realised count always rides along in the provenance record.
+        jobs = source.get("job_count") or provenance.get("job_count") or "?"
+        description = f"synthesized trace ({arrivals} arrivals, {jobs} jobs)"
+    elif isinstance(source, dict) and source.get("generator"):
+        description = "generated rigid workload"
+    else:
+        description = json.dumps(source, sort_keys=True)
+    steps = [
+        step.get("kind", "?")
+        for step in provenance.get("steps", [])
+        if isinstance(step, dict)
+        and step.get("kind") not in ("load", "synthesize", "fingerprint")
+    ]
+    if steps:
+        description += f"; transforms: {' -> '.join(steps)}"
+    counts = provenance.get("kind_counts")
+    if isinstance(counts, dict):
+        mixed = {k: v for k, v in counts.items() if v}
+        if set(mixed) - {"rigid"}:
+            description += "; mix: " + ", ".join(
+                f"{kind}={count}" for kind, count in sorted(mixed.items())
+            )
+    return description
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     store = ResultStore(args.results_dir)
     try:
@@ -167,7 +207,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
             print(f"campaign comparison: {args.name} vs {args.compare}")
             print(format_comparison(rows, label_a=args.name, label_b=args.compare))
             return 0
-        summary = store.summarize(args.name)
+        records = store.load_records(args.name)
+        summary = store.summarize(args.name, records)
+        provenance = store.provenance_of(args.name, records)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -175,6 +217,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
     for scenario in summary:
         print()
         print(f"== {scenario} ==")
+        if scenario in provenance:
+            print(f"workload: {_describe_provenance(provenance[scenario])}")
         rows = list(summary[scenario].items())
         print(format_table(["metric", "median"], rows))
     return 0
@@ -191,6 +235,8 @@ def _cmd_scenarios(_args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "trace":
+        return run_trace_command(args)
     handlers = {
         "run": _cmd_run,
         "list": _cmd_list,

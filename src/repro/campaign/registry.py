@@ -24,6 +24,8 @@ __all__ = [
     "register_scenario",
     "builtin_scenarios",
     "resolve_scenarios",
+    "record_provenance",
+    "consume_provenance",
 ]
 
 #: A scenario runner executes one (spec, seed) pair and returns a flat,
@@ -32,6 +34,31 @@ ScenarioRunner = Callable[[ScenarioSpec, int], Mapping[str, object]]
 
 _RUNNERS: Dict[str, ScenarioRunner] = {}
 _BUILTIN: Dict[str, ScenarioSpec] = {}
+
+#: Workload provenance of the run currently executing in this process.
+#: Runners publish it with :func:`record_provenance`; the campaign runner
+#: pops it right after the runner returns.  Each worker process executes one
+#: run at a time, so a single slot per process is race-free.
+_PROVENANCE: List[Optional[Mapping]] = [None]
+
+
+def record_provenance(provenance: Optional[Mapping]) -> None:
+    """Publish the workload provenance of the currently executing run.
+
+    Scenario runners call this with a JSON-friendly description of where
+    their workload came from (trace file fingerprint, model parameters,
+    transformation chain, generator knobs); the campaign runner attaches it
+    to the run record so the result store can answer "what data produced
+    these numbers?" long after the fact.
+    """
+    _PROVENANCE[0] = None if provenance is None else dict(provenance)
+
+
+def consume_provenance() -> Optional[Dict]:
+    """Pop the provenance published by the last runner invocation."""
+    provenance = _PROVENANCE[0]
+    _PROVENANCE[0] = None
+    return None if provenance is None else dict(provenance)
 
 
 def register_runner(name: str) -> Callable[[ScenarioRunner], ScenarioRunner]:

@@ -24,7 +24,7 @@ from typing import Callable, Dict, List, Mapping, Optional
 
 from ..sim.randomness import derive_seed
 from . import builtin  # noqa: F401  (registers the built-in runners)
-from .registry import get_runner
+from .registry import consume_provenance, get_runner
 from .spec import CampaignSpec, ScenarioSpec
 from .store import ResultStore
 
@@ -63,8 +63,9 @@ class CampaignResult:
 def _execute_task(task: RunTask) -> Dict:
     """Run one task in the current process (also the pool worker body)."""
     runner = get_runner(task.scenario.runner)
+    consume_provenance()  # drop leftovers from any previous run
     metrics = dict(runner(task.scenario, task.seed))
-    return {
+    record = {
         "scenario": task.scenario.name,
         "replicate": task.replicate,
         "seed": task.seed,
@@ -72,6 +73,12 @@ def _execute_task(task: RunTask) -> Dict:
         "scale": task.scenario.scale,
         "metrics": metrics,
     }
+    # Workload provenance (trace fingerprint, model parameters, transform
+    # chain) published by the runner rides along in the persisted record.
+    provenance = consume_provenance()
+    if provenance is not None:
+        record["provenance"] = provenance
+    return record
 
 
 class CampaignRunner:

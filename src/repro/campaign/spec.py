@@ -19,6 +19,7 @@ from pathlib import Path
 from typing import Dict, Mapping, Optional, Tuple, Union
 
 from ..experiments.runner import EvaluationScale
+from ..traces.source import TraceSource
 
 __all__ = [
     "SCALE_NAMES",
@@ -111,11 +112,20 @@ class WorkloadSpec:
     rigid_runtime_median: float = 1800.0
     #: Optional SWF-like trace file to replay instead of generated rigid jobs.
     trace_path: Optional[str] = None
+    #: Full declarative trace source (SWF path or statistical model, plus a
+    #: transformation chain and an adaptive-kind mix); supersedes the plain
+    #: ``trace_path`` replay.  Dictionaries are promoted to
+    #: :class:`~repro.traces.source.TraceSource` on construction.
+    trace: Optional[TraceSource] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
             self, "psa_task_durations", tuple(float(d) for d in self.psa_task_durations)
         )
+        if self.trace is not None and not isinstance(self.trace, TraceSource):
+            object.__setattr__(self, "trace", TraceSource.from_dict(self.trace))
+        if self.trace is not None and self.trace_path is not None:
+            raise ValueError("give either trace or trace_path, not both")
         if any(d <= 0 for d in self.psa_task_durations):
             raise ValueError("psa_task_durations must be positive")
         if self.overcommit <= 0:
@@ -128,13 +138,17 @@ class WorkloadSpec:
             raise ValueError("rigid_runtime_median must be positive")
 
     def to_dict(self) -> Dict:
-        return _jsonify(asdict(self))
+        data = _jsonify(asdict(self))
+        data["trace"] = None if self.trace is None else self.trace.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "WorkloadSpec":
         kwargs = _filter_kwargs(cls, data)
         if "psa_task_durations" in kwargs:
             kwargs["psa_task_durations"] = tuple(kwargs["psa_task_durations"])
+        if kwargs.get("trace") is not None:
+            kwargs["trace"] = TraceSource.from_dict(kwargs["trace"])
         return cls(**kwargs)
 
 
@@ -195,6 +209,11 @@ class ScenarioSpec:
 
     def with_scale(self, scale: str) -> "ScenarioSpec":
         return replace(self, scale=scale)
+
+    @property
+    def trace(self) -> Optional[TraceSource]:
+        """The scenario's declarative trace source, if any."""
+        return self.workload.trace
 
     def to_dict(self) -> Dict:
         return {

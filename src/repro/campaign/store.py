@@ -158,16 +158,41 @@ class ResultStore:
     # ------------------------------------------------------------------ #
     # Analysis
     # ------------------------------------------------------------------ #
-    def summarize(self, name: str) -> Dict[str, Dict[str, float]]:
-        """Per-scenario medians over replicates: ``{scenario: {metric: median}}``."""
+    def summarize(
+        self, name: str, records: Optional[Sequence[Mapping]] = None
+    ) -> Dict[str, Dict[str, float]]:
+        """Per-scenario medians over replicates: ``{scenario: {metric: median}}``.
+
+        Pass *records* (from :meth:`load_records`) to analyse an
+        already-loaded run file instead of re-reading it from disk.
+        """
         by_scenario: Dict[str, List[Mapping]] = {}
-        for record in self.load_records(name):
+        for record in records if records is not None else self.load_records(name):
             scenario = str(record.get("scenario", ""))
             by_scenario.setdefault(scenario, []).append(record.get("metrics", {}))
         return {
             scenario: median_summary(metrics)
             for scenario, metrics in by_scenario.items()
         }
+
+    def provenance_of(
+        self, name: str, records: Optional[Sequence[Mapping]] = None
+    ) -> Dict[str, Dict]:
+        """Per-scenario workload provenance: ``{scenario: provenance}``.
+
+        Replicates of one scenario share their provenance except for
+        derived-seed details, so the first record's provenance represents
+        the scenario; scenarios without any recorded provenance are absent.
+        Pass *records* to analyse an already-loaded run file.
+        """
+        provenance: Dict[str, Dict] = {}
+        for record in records if records is not None else self.load_records(name):
+            scenario = str(record.get("scenario", ""))
+            if scenario in provenance:
+                continue
+            if isinstance(record.get("provenance"), Mapping):
+                provenance[scenario] = dict(record["provenance"])
+        return provenance
 
     def compare(
         self, name_a: str, name_b: str

@@ -7,7 +7,7 @@ inherit the nodes of their predecessor.
 """
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+from typing import Dict, FrozenSet, Iterable, List, Optional
 
 from ..core.errors import AllocationError
 from ..core.types import ClusterId, NodeId, Time

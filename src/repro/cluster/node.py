@@ -8,8 +8,7 @@ saving mode").
 from __future__ import annotations
 
 import enum
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..core.errors import AllocationError

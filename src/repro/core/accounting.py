@@ -10,9 +10,8 @@ the economic incentive the paper hints at.
 """
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 from .types import RequestType, Time
 

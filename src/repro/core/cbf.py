@@ -16,8 +16,8 @@ behaviour against the classical algorithm.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from .errors import CapacityError
 from .profile import StepFunction

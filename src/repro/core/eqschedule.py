@@ -19,7 +19,7 @@ partition; it implements the "strict equi-partitioning" baseline of Figure 11.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence
 
 from .fit import fit
 from .profile import StepFunction

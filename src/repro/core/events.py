@@ -9,8 +9,8 @@ the RMS event log doubles as documentation of what happened.
 """
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from .types import NodeId, Time
 

@@ -21,7 +21,7 @@ from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Set
 
 from ..cluster.platform import Platform
 from .accounting import Accountant
-from .errors import ProtocolError, RequestError, SessionError
+from .errors import RequestError, SessionError
 from .events import (
     Connected,
     Disconnected,
@@ -36,7 +36,7 @@ from .events import (
 from .request import Request
 from .scheduler import Scheduler
 from .session import ApplicationProtocol, Session
-from .types import NodeId, RelatedHow, RequestType, Time
+from .types import NodeId, RelatedHow, Time
 from .view import View
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import

@@ -9,7 +9,6 @@ connected to the RMS").
 """
 from __future__ import annotations
 
-import math
 from typing import Dict, FrozenSet, Optional, Protocol, runtime_checkable
 
 from .request import Request

@@ -11,7 +11,7 @@ overhead term takes over.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from ..metrics.report import format_series
 from ..models.speedup import GIB_IN_MIB, PAPER_SPEEDUP_MODEL, SpeedupModel

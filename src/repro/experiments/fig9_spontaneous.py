@@ -17,7 +17,7 @@ beyond 1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..metrics.report import format_table
 from .runner import EvaluationScale, run_scenario

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..apps.nea import AmrApplication
 from ..apps.psa import ParameterSweepApplication
@@ -25,6 +25,7 @@ from ..models.amr_evolution import AmrEvolutionParameters, WorkingSetEvolution
 from ..models.speedup import PAPER_SPEEDUP_MODEL, SpeedupModel, TIB_IN_MIB
 from ..models.static_equivalent import equivalent_static_allocation
 from ..sim.engine import Simulator
+from ..traces.convert import ConvertedJob, build_application, replay_horizon
 from ..workloads.generator import RigidJobSpec
 
 __all__ = ["EvaluationScale", "ScenarioResult", "build_evolution", "run_scenario"]
@@ -98,6 +99,8 @@ class ScenarioResult:
     cluster_nodes: int
     #: Background rigid batch jobs (empty unless the scenario mixes them in).
     rigid_apps: List[RigidApplication] = field(default_factory=list)
+    #: Applications replayed from a converted workload trace (any kind).
+    trace_apps: List = field(default_factory=list)
 
 
 def build_evolution(
@@ -150,6 +153,7 @@ def run_scenario(
     evolution: Optional[WorkingSetEvolution] = None,
     include_amr: bool = True,
     rigid_jobs: Optional[Sequence[RigidJobSpec]] = None,
+    adaptive_jobs: Optional[Sequence[ConvertedJob]] = None,
     cluster_nodes: Optional[int] = None,
     kill_protocol_violators: bool = False,
     violation_grace: float = 30.0,
@@ -166,7 +170,9 @@ def run_scenario(
     The campaign layer adds a few composition knobs: *include_amr* drops the
     evolving application (PSA/rigid-only scenarios), *rigid_jobs* layers a
     stream of classical batch jobs on top of the paper workload (each job is
-    submitted to the RMS at its trace submit time), *cluster_nodes* pins the
+    submitted to the RMS at its trace submit time), *adaptive_jobs* replays a
+    converted workload trace as a mix of rigid/moldable/malleable/evolving
+    applications (see :mod:`repro.traces.convert`), *cluster_nodes* pins the
     platform size instead of deriving it from the AMR pre-allocation, and
     *kill_protocol_violators* / *violation_grace* forward to the RMS.
     """
@@ -226,10 +232,19 @@ def run_scenario(
         simulator.schedule_at(job.submit_time, app.connect, rms)
         rigid_apps.append(app)
 
+    trace_apps: List = []
+    for converted in adaptive_jobs or ():
+        app = build_application(converted, cluster_nodes)
+        simulator.schedule_at(converted.submit_time, app.connect, rms)
+        trace_apps.append(app)
+
     if amr is None and psas:
         # Without an AMR nothing shuts the (otherwise endless) PSAs down;
-        # stop them once the rigid stream is over or after one PSA1 horizon.
+        # stop them once the background streams are over or after one PSA1
+        # horizon.  Converted traces contribute their replay horizon (the
+        # last job's earliest possible completion).
         last_submit = max((j.submit_time + j.duration for j in rigid_jobs or ()), default=0.0)
+        last_submit = max(last_submit, replay_horizon(tuple(adaptive_jobs or ())))
         stop_at = max(last_submit, 10.0 * scale.psa1_task_duration)
         simulator.schedule_at(stop_at, lambda: [psa.shutdown() for psa in psas])
 
@@ -244,4 +259,5 @@ def run_scenario(
         ideal_preallocation=ideal,
         cluster_nodes=cluster_nodes,
         rigid_apps=rigid_apps,
+        trace_apps=trace_apps,
     )

@@ -17,13 +17,13 @@ definition of every metric.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from ..apps.nea import AmrApplication
 from ..apps.psa import ParameterSweepApplication
 from ..core.rms import CooRMv2
-from ..core.types import RequestType, Time
+from ..core.types import RequestType
 
 __all__ = ["SimulationMetrics", "summarize_runs", "median_summary"]
 

@@ -1,6 +1,6 @@
 """Discrete-event simulation substrate used by the evaluation."""
 from .engine import EventHandle, Process, Simulator
-from .randomness import RandomSource, derive_seed, spawn_streams
+from .randomness import RandomSource, derive_seed, spawn_streams, stable_fingerprint
 
 __all__ = [
     "EventHandle",
@@ -9,4 +9,5 @@ __all__ = [
     "RandomSource",
     "derive_seed",
     "spawn_streams",
+    "stable_fingerprint",
 ]

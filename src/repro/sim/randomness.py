@@ -13,11 +13,11 @@ not depend on how the runs are ordered or distributed over worker processes.
 from __future__ import annotations
 
 import hashlib
-from typing import Iterator, Optional, Sequence
+from typing import Iterator, Optional, Sequence, Union
 
 import numpy as np
 
-__all__ = ["RandomSource", "derive_seed", "spawn_streams"]
+__all__ = ["RandomSource", "derive_seed", "spawn_streams", "stable_fingerprint"]
 
 #: derive_seed() returns non-negative seeds strictly below this bound, which
 #: keeps them inside the range numpy accepts as a single-integer seed.
@@ -47,6 +47,19 @@ def derive_seed(root: Optional[int], *components) -> int:
         digest.update(b"\x1f")
         digest.update(repr(component).encode("utf-8"))
     return int.from_bytes(digest.digest()[:8], "big") % MAX_DERIVED_SEED
+
+
+def stable_fingerprint(data: Union[bytes, str]) -> str:
+    """Short, stable SHA-256 content fingerprint (for provenance records).
+
+    Trace and workload provenance records carry this fingerprint of the raw
+    input bytes so that two campaign runs can be compared not just by the
+    *name* of the trace file they replayed but by its *content* -- renamed or
+    silently-edited inputs become visible in the result store.
+    """
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return hashlib.sha256(data).hexdigest()[:16]
 
 
 class RandomSource:

@@ -1,0 +1,99 @@
+"""Workload traces: real SWF ingestion, statistical models, transformations.
+
+This subsystem is the layer between raw workload data and the simulator:
+
+* :mod:`repro.traces.swf` -- the full 18-field Standard Workload Format of
+  the Parallel Workloads Archive, with ``;`` header directives, gzip
+  support and strict/lenient parsing;
+* :mod:`repro.traces.models` -- statistical arrival/duration/node-count
+  models that synthesize arbitrarily large traces from fitted parameters;
+* :mod:`repro.traces.transform` -- a composable transformation pipeline
+  (filter, time window, load rescale, node clamp, shift) with provenance
+  recorded on every trace;
+* :mod:`repro.traces.convert` -- conversion of rigid trace records into
+  mixes of rigid/moldable/malleable/evolving applications;
+* :mod:`repro.traces.source` -- declarative trace sources
+  (:class:`TraceSource`) resolved deterministically for campaign scenarios;
+* :mod:`repro.traces.cli` -- the ``python -m repro trace`` command group.
+
+Quick start::
+
+    from repro.traces import TraceModel, load_swf
+
+    trace = load_swf("KTH-SP2-1996-2.1-cln.swf.gz", strict=False)
+    model = TraceModel.fit(trace)
+    synthetic = model.synthesize(10_000, seed=42)
+"""
+from .convert import (
+    APP_KINDS,
+    AdaptiveMix,
+    ConvertedJob,
+    build_application,
+    convert_trace,
+    mix_counts,
+    replay_horizon,
+)
+from .models import (
+    DailyCycleArrivals,
+    LogNormalDuration,
+    LogUniformDuration,
+    LogUniformNodes,
+    PoissonArrivals,
+    TraceModel,
+    model_from_dict,
+)
+from .source import TraceSource, resolve_converted_jobs, resolve_trace
+from .swf import (
+    SWF_FIELDS,
+    SwfHeader,
+    SwfJob,
+    Trace,
+    dump_swf,
+    dumps_swf,
+    load_swf,
+    loads_swf,
+)
+from .transform import (
+    ClampNodes,
+    FilterJobs,
+    LoadRescale,
+    Pipeline,
+    ShiftToZero,
+    TimeWindow,
+    transform_from_dict,
+)
+
+__all__ = [
+    "APP_KINDS",
+    "AdaptiveMix",
+    "ClampNodes",
+    "ConvertedJob",
+    "DailyCycleArrivals",
+    "FilterJobs",
+    "LoadRescale",
+    "LogNormalDuration",
+    "LogUniformDuration",
+    "LogUniformNodes",
+    "Pipeline",
+    "PoissonArrivals",
+    "SWF_FIELDS",
+    "ShiftToZero",
+    "SwfHeader",
+    "SwfJob",
+    "Trace",
+    "TraceModel",
+    "TraceSource",
+    "TimeWindow",
+    "build_application",
+    "convert_trace",
+    "dump_swf",
+    "dumps_swf",
+    "load_swf",
+    "loads_swf",
+    "mix_counts",
+    "model_from_dict",
+    "replay_horizon",
+    "resolve_converted_jobs",
+    "resolve_trace",
+    "transform_from_dict",
+]

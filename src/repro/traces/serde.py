@@ -1,0 +1,31 @@
+"""Strict dictionary deserialisation shared by the trace subsystem.
+
+Every declarative object in this package (component models, transformations,
+mixes, trace sources) round-trips through plain dictionaries; they all
+reject unknown keys the same way so a typo in a scenario spec fails loudly
+at load time instead of being silently dropped.
+"""
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import Mapping, Tuple
+
+from ..core.errors import WorkloadError
+
+__all__ = ["from_strict_dict"]
+
+
+def from_strict_dict(cls, data: Mapping, *, ignore: Tuple[str, ...] = ("kind",)):
+    """Build dataclass *cls* from *data*, rejecting unknown fields.
+
+    Keys in *ignore* (the ``kind`` discriminator by default) are dropped
+    before matching against the dataclass fields.
+    """
+    kwargs = {k: v for k, v in dict(data).items() if k not in ignore}
+    known = {f.name for f in fields(cls)}
+    unknown = set(kwargs) - known
+    if unknown:
+        raise WorkloadError(
+            f"{cls.__name__} does not understand field(s): {sorted(unknown)}"
+        )
+    return cls(**kwargs)

@@ -5,12 +5,22 @@ job per line with whitespace-separated fields.  This module supports the four
 fields the simulator needs -- job id, submit time, requested node count,
 requested runtime -- plus ``#`` comments, so externally produced traces can
 be replayed against the RMS and generated workloads can be saved for
-reproducibility.
+reproducibility.  Fields may be separated by spaces or tabs, ``*.gz`` paths
+are compressed/decompressed transparently, and every parse error reports the
+offending file name and line number.
+
+The *full* 18-field SWF format (header directives, status codes, user ids)
+lives in :mod:`repro.traces.swf`; this minimal format remains the exchange
+format of the rigid-workload generator.
 """
 from __future__ import annotations
 
+from functools import lru_cache
 from pathlib import Path
-from typing import Iterable, List, Union
+from typing import Iterable, List, Tuple, Union
+
+from ..core.textio import read_trace_text, write_text_file
+from ..sim.randomness import stable_fingerprint
 
 from ..core.errors import WorkloadError
 from .generator import RigidJobSpec
@@ -28,25 +38,31 @@ def dumps_trace(jobs: Iterable[RigidJobSpec]) -> str:
     return "\n".join(lines) + "\n"
 
 
-def loads_trace(text: str) -> List[RigidJobSpec]:
-    """Parse the text format produced by :func:`dumps_trace`."""
+def loads_trace(text: str, source: str = "<string>") -> List[RigidJobSpec]:
+    """Parse the text format produced by :func:`dumps_trace`.
+
+    *source* names the origin of the text (usually a file path) and prefixes
+    every :class:`WorkloadError` as ``source:line``, so a bad line deep in a
+    large trace is immediately locatable.
+    """
     jobs: List[RigidJobSpec] = []
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
-        if not line or line.startswith("#"):
+        where = f"{source}:{lineno}"
+        if not line or line.startswith("#") or line.startswith(";"):
             continue
-        parts = line.split()
+        parts = line.split()  # any run of spaces and/or tabs separates fields
         if len(parts) != 4:
-            raise WorkloadError(f"line {lineno}: expected 4 fields, got {len(parts)}")
+            raise WorkloadError(f"{where}: expected 4 fields, got {len(parts)}")
         job_id, submit_s, nodes_s, duration_s = parts
         try:
             submit = float(submit_s)
             nodes = int(nodes_s)
             duration = float(duration_s)
         except ValueError as exc:
-            raise WorkloadError(f"line {lineno}: {exc}") from exc
+            raise WorkloadError(f"{where}: {exc}") from exc
         if submit < 0 or nodes <= 0 or duration <= 0:
-            raise WorkloadError(f"line {lineno}: fields out of range")
+            raise WorkloadError(f"{where}: fields out of range")
         jobs.append(
             RigidJobSpec(
                 job_id=job_id, submit_time=submit, node_count=nodes, duration=duration
@@ -57,10 +73,25 @@ def loads_trace(text: str) -> List[RigidJobSpec]:
 
 
 def dump_trace(jobs: Iterable[RigidJobSpec], path: Union[str, Path]) -> None:
-    """Write a trace file."""
-    Path(path).write_text(dumps_trace(jobs), encoding="utf-8")
+    """Write a trace file (gzip-compressed when the path ends in ``.gz``)."""
+    write_text_file(Path(path), dumps_trace(jobs))
 
 
 def load_trace(path: Union[str, Path]) -> List[RigidJobSpec]:
-    """Read a trace file."""
-    return loads_trace(Path(path).read_text(encoding="utf-8"))
+    """Read a trace file (transparently gunzipping ``*.gz`` paths)."""
+    return loads_trace(read_trace_text(path), source=str(path))
+
+
+@lru_cache(maxsize=8)
+def load_trace_cached(path: str) -> Tuple[Tuple[RigidJobSpec, ...], str]:
+    """Parse and fingerprint a trace file once per process.
+
+    Returns ``(jobs, sha256_16)``.  Replay loops (one campaign run per
+    seed over the same file) use this to avoid re-reading a file whose
+    content is seed-independent; the fingerprint names the content for
+    provenance records.  The job tuple is shared -- callers must not
+    mutate the specs -- and a file edited in place during the process's
+    lifetime is not re-read.
+    """
+    text = read_trace_text(Path(path))
+    return tuple(loads_trace(text, source=path)), stable_fingerprint(text)

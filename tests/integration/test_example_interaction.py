@@ -10,16 +10,12 @@ from __future__ import annotations
 
 import math
 
-import pytest
 
 from repro.cluster import Platform
 from repro.core import (
     CooRMv2,
     RelatedHow,
     Request,
-    RequestDone,
-    RequestStarted,
-    RequestSubmitted,
     RequestType,
 )
 from repro.sim import Simulator

@@ -8,7 +8,6 @@ yielding to the others when needed.
 """
 from __future__ import annotations
 
-import math
 
 import numpy as np
 import pytest

@@ -18,7 +18,6 @@ from repro.core import (
     RequestType,
     Scheduler,
     to_view,
-    fit,
 )
 
 CLUSTER_NODES = 32

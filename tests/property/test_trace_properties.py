@@ -1,0 +1,153 @@
+"""Property-based tests of the workload-trace subsystem.
+
+Three families of invariants, as demanded by the subsystem's contract:
+
+* **round-trip** -- ``loads_swf(dumps_swf(t)) == t`` for arbitrary traces;
+* **transform invariants** -- load rescaling preserves the job count (and
+  the total work), node clamping never exceeds the requested bound;
+* **determinism** -- model synthesis is a pure function of (model, seed)
+  even when the seed is produced by :func:`repro.sim.randomness.derive_seed`.
+"""
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.randomness import derive_seed
+from repro.traces import (
+    ClampNodes,
+    LoadRescale,
+    PoissonArrivals,
+    LogUniformNodes,
+    ShiftToZero,
+    SwfHeader,
+    SwfJob,
+    Trace,
+    TraceModel,
+    convert_trace,
+    dumps_swf,
+    loads_swf,
+)
+
+# SWF stores times/sizes as decimals; three fractional digits round-trip
+# through the textual form exactly (they are dumped via repr).
+_times = st.decimals(
+    min_value=0, max_value=10_000_000, places=3, allow_nan=False
+).map(float)
+_maybe_times = st.one_of(st.just(-1.0), _times)
+_procs = st.one_of(st.just(-1), st.integers(min_value=1, max_value=4096))
+_small_ints = st.integers(min_value=-1, max_value=50)
+
+
+@st.composite
+def swf_jobs(draw, job_number: int = 0) -> SwfJob:
+    return SwfJob(
+        job_number=job_number or draw(st.integers(min_value=1, max_value=10**6)),
+        submit_time=draw(_times),
+        wait_time=draw(_maybe_times),
+        run_time=draw(_maybe_times),
+        used_procs=draw(_procs),
+        avg_cpu_time=draw(_maybe_times),
+        used_memory=draw(_maybe_times),
+        req_procs=draw(_procs),
+        req_time=draw(_maybe_times),
+        req_memory=draw(_maybe_times),
+        status=draw(st.sampled_from([-1, 0, 1, 5])),
+        user_id=draw(_small_ints),
+        group_id=draw(_small_ints),
+        executable=draw(_small_ints),
+        queue=draw(_small_ints),
+        partition=draw(_small_ints),
+        preceding_job=draw(_small_ints),
+        think_time=draw(_maybe_times),
+    )
+
+
+@st.composite
+def traces(draw) -> Trace:
+    jobs = tuple(
+        draw(swf_jobs(job_number=i + 1))
+        for i in range(draw(st.integers(min_value=0, max_value=12)))
+    )
+    directives = draw(
+        st.dictionaries(
+            st.sampled_from(["MaxNodes", "MaxProcs", "UnixStartTime", "Version"]),
+            st.integers(min_value=0, max_value=10**6).map(str),
+            max_size=3,
+        )
+    )
+    comments = draw(
+        st.lists(
+            st.text(
+                alphabet=st.characters(
+                    whitelist_categories=("L", "N"), whitelist_characters=" "
+                ),
+                min_size=1,
+                max_size=30,
+            ).map(str.strip).filter(lambda s: s and ":" not in s),
+            max_size=2,
+        )
+    )
+    header = SwfHeader(directives=directives, comments=tuple(comments))
+    return Trace(header=header, jobs=jobs)
+
+
+@settings(max_examples=80, deadline=None)
+@given(traces())
+def test_swf_round_trip(trace):
+    assert loads_swf(dumps_swf(trace)) == trace
+
+
+@settings(max_examples=60, deadline=None)
+@given(traces(), st.floats(min_value=0.1, max_value=10.0, allow_nan=False))
+def test_rescale_preserves_job_count_and_work(trace, factor):
+    rescaled = LoadRescale(factor=factor).apply(trace)
+    assert rescaled.job_count == trace.job_count
+    assert abs(rescaled.total_area() - trace.total_area()) <= 1e-6 * max(
+        1.0, trace.total_area()
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(traces(), st.integers(min_value=1, max_value=256))
+def test_clamp_never_exceeds_max_nodes(trace, max_nodes):
+    clamped = ClampNodes(max_nodes=max_nodes).apply(trace)
+    assert all(job.node_count <= max_nodes for job in clamped.jobs)
+    assert clamped.max_nodes <= max_nodes
+
+
+@settings(max_examples=40, deadline=None)
+@given(traces())
+def test_shift_to_zero_starts_at_zero(trace):
+    shifted = ShiftToZero().apply(trace)
+    if shifted.jobs:
+        assert min(job.submit_time for job in shifted.jobs) == 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.text(min_size=0, max_size=10),
+    st.integers(min_value=1, max_value=40),
+)
+def test_model_synthesis_deterministic_under_derive_seed(root, name, job_count):
+    model = TraceModel(
+        arrivals=PoissonArrivals(rate=0.01),
+        nodes=LogUniformNodes(max_nodes=64),
+    )
+    seed = derive_seed(root, name, 0)
+    assert model.synthesize(job_count, seed=seed) == model.synthesize(
+        job_count, seed=derive_seed(root, name, 0)
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_conversion_deterministic_under_derive_seed(root):
+    trace = TraceModel().synthesize(30, seed=7)
+    from repro.traces import AdaptiveMix
+
+    mix = AdaptiveMix(rigid=0.5, moldable=0.5)
+    a = convert_trace(trace, mix=mix, seed=derive_seed(root, "convert"))
+    b = convert_trace(trace, mix=mix, seed=derive_seed(root, "convert"))
+    assert a == b

@@ -1,7 +1,6 @@
 """Unit tests of malleable and fully-predictably evolving applications."""
 from __future__ import annotations
 
-import math
 
 import pytest
 

@@ -1,14 +1,13 @@
 """Unit tests of the non-predictably evolving AMR application (Section 5.1.1)."""
 from __future__ import annotations
 
-import math
 
 import numpy as np
 import pytest
 
 from repro.apps import AmrApplication
 from repro.cluster import Platform
-from repro.core import CooRMv2, RequestType
+from repro.core import CooRMv2
 from repro.models import SpeedupModel, WorkingSetEvolution
 from repro.sim import Simulator
 

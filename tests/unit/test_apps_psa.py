@@ -1,7 +1,6 @@
 """Unit tests of the Parameter-Sweep Application (Section 5.1.2)."""
 from __future__ import annotations
 
-import math
 
 import numpy as np
 import pytest

@@ -16,7 +16,6 @@ from repro.core import (
     RelatedHow,
     SessionError,
     SessionKilled,
-    View,
     ViewsPushed,
 )
 from repro.cluster import Platform

@@ -1,7 +1,6 @@
 """Unit tests of toView() (paper Algorithm 1)."""
 from __future__ import annotations
 
-import math
 
 import pytest
 

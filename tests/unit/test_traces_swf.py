@@ -1,0 +1,155 @@
+"""Unit tests of the full SWF format (repro.traces.swf)."""
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.errors import WorkloadError
+from repro.traces import (
+    SWF_FIELDS,
+    SwfHeader,
+    SwfJob,
+    Trace,
+    dump_swf,
+    dumps_swf,
+    load_swf,
+    loads_swf,
+)
+
+FIXTURE = Path(__file__).parent.parent / "data" / "tiny.swf"
+
+
+class TestFixtureParsing:
+    def test_fixture_loads(self):
+        trace = load_swf(FIXTURE)
+        assert trace.job_count == 12
+
+    def test_header_directives(self):
+        trace = load_swf(FIXTURE)
+        assert trace.header.max_nodes == 64
+        assert trace.header.max_procs == 64
+        assert trace.header.unix_start_time == 820454400
+        assert trace.header.directives["Computer"] == "Imaginary-SP2"
+
+    def test_comments_preserved(self):
+        trace = load_swf(FIXTURE)
+        assert any("Parallel Workloads Archive" in c for c in trace.header.comments)
+
+    def test_all_18_fields_parsed(self):
+        trace = load_swf(FIXTURE)
+        first = trace.jobs[0]
+        assert first.to_fields() == (
+            1, 0.0, 10.0, 120.0, 8, 110.5, 512.0, 8, 300.0, 1024.0,
+            1, 3, 1, 1, 1, 1, -1, -1.0,
+        )
+
+    def test_tab_and_space_separated_lines(self):
+        # Job 3 uses spaces, the others tabs; both must parse identically.
+        trace = load_swf(FIXTURE)
+        assert trace.jobs[2].job_number == 3
+        assert trace.jobs[2].req_procs == 1
+
+    def test_invalid_jobs_dropped_by_to_rigid(self):
+        # Job 10 has no runtime at all and drops; job 9 is cancelled but
+        # still has a requested time, so it replays (status-based dropping
+        # is FilterJobs' explicit job, not an implicit side effect).
+        trace = load_swf(FIXTURE)
+        rigid = trace.to_rigid_jobs()
+        assert len(rigid) == 11
+        assert "swf10" not in {j.job_id for j in rigid}
+        assert [j.submit_time for j in rigid] == sorted(j.submit_time for j in rigid)
+
+    def test_cancelled_jobs_drop_via_filter(self):
+        from repro.traces import FilterJobs
+
+        trace = FilterJobs(statuses=(1,)).apply(load_swf(FIXTURE))
+        assert {j.status for j in trace.jobs} == {1}
+        assert trace.job_count == 10
+
+    def test_provenance_records_source(self):
+        trace = load_swf(FIXTURE)
+        assert trace.provenance[0]["kind"] == "load"
+        assert trace.provenance[0]["source"].endswith("tiny.swf")
+
+    def test_max_nodes_prefers_header(self):
+        trace = load_swf(FIXTURE)
+        assert trace.max_nodes == 64
+
+
+class TestStrictAndLenient:
+    def test_strict_reports_source_and_line(self):
+        text = "1 0 10 120\n"
+        with pytest.raises(WorkloadError, match=r"bad\.swf:1"):
+            loads_swf(text, strict=True, source="bad.swf")
+
+    def test_strict_rejects_bad_value(self):
+        fields = ["1"] * len(SWF_FIELDS)
+        fields[3] = "not-a-number"
+        with pytest.raises(WorkloadError, match=r"<string>:1.*run_time"):
+            loads_swf(" ".join(fields))
+
+    def test_lenient_pads_short_lines(self):
+        trace = loads_swf("1 0 10 120 8\n", strict=False)
+        assert trace.job_count == 1
+        assert trace.jobs[0].req_procs == -1
+
+    def test_lenient_skips_garbage_and_counts_it(self):
+        good = " ".join(["7"] * len(SWF_FIELDS))
+        trace = loads_swf(f"x y z\n{good}\n", strict=False)
+        assert trace.job_count == 1
+        assert trace.provenance[0]["skipped_lines"] == 1
+
+    def test_missing_file_mentions_path(self):
+        with pytest.raises(WorkloadError, match="no-such-file"):
+            load_swf("no-such-file.swf")
+
+
+class TestRoundTrip:
+    def test_dumps_loads_round_trip(self):
+        trace = load_swf(FIXTURE)
+        assert loads_swf(dumps_swf(trace)) == trace
+
+    def test_gzip_round_trip(self, tmp_path):
+        trace = load_swf(FIXTURE)
+        path = tmp_path / "t.swf.gz"
+        dump_swf(trace, path)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"  # really gzip
+        assert load_swf(path) == trace
+
+    def test_gzip_write_is_reproducible(self, tmp_path):
+        trace = load_swf(FIXTURE)
+        a, b = tmp_path / "a.swf.gz", tmp_path / "b.swf.gz"
+        dump_swf(trace, a)
+        dump_swf(trace, b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_non_integral_floats_survive(self):
+        job = SwfJob(job_number=1, submit_time=0.125, run_time=3.3, req_procs=2)
+        trace = Trace(jobs=(job,))
+        back = loads_swf(dumps_swf(trace))
+        assert back.jobs[0].submit_time == 0.125
+        assert back.jobs[0].run_time == 3.3
+
+
+class TestSwfJob:
+    def test_node_count_fallbacks(self):
+        assert SwfJob(job_number=1, submit_time=0, req_procs=8).node_count == 8
+        assert SwfJob(job_number=1, submit_time=0, used_procs=4).node_count == 4
+        assert SwfJob(job_number=1, submit_time=0).node_count == 1
+
+    def test_duration_fallbacks(self):
+        assert SwfJob(job_number=1, submit_time=0, run_time=9.0).duration == 9.0
+        assert SwfJob(job_number=1, submit_time=0, req_time=7.0).duration == 7.0
+        assert SwfJob(job_number=1, submit_time=0).duration == 0.0
+
+    def test_to_rigid(self):
+        job = SwfJob(job_number=3, submit_time=5.0, run_time=60.0, req_procs=4)
+        rigid = job.to_rigid()
+        assert (rigid.job_id, rigid.submit_time, rigid.node_count, rigid.duration) == (
+            "swf3", 5.0, 4, 60.0,
+        )
+
+    def test_header_with_directive(self):
+        header = SwfHeader().with_directive("MaxNodes", 32)
+        assert header.max_nodes == 32
