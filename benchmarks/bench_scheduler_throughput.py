@@ -15,6 +15,7 @@ import pytest
 
 from repro.core import ApplicationRequests, Request, RequestType, Scheduler
 from repro.metrics import format_table
+from repro.policies import policy_names
 
 
 def build_workload(num_apps: int, requests_per_app: int):
@@ -53,3 +54,33 @@ def test_scheduling_pass_throughput(benchmark, num_apps, requests_per_app):
     assert result.non_preemptive_views
     # Even the largest configuration must beat the paper's 500 req/s figure.
     assert throughput > 500
+
+
+@pytest.mark.parametrize("policy", policy_names())
+def test_policy_pass_throughput(benchmark, policy):
+    """One scheduling pass per registered policy, with a throughput floor.
+
+    Every policy swaps at most one stage of the default composition, so no
+    policy may cost more than a small constant factor over Algorithm 4; the
+    floor is the paper's 500 req/s figure, which even 2011 hardware beat.
+    """
+    scheduler = Scheduler({"c0": 4096}, policy=policy)
+    usage = {f"app{i}": float(i) * 1e4 for i in range(8)}
+
+    def one_pass():
+        applications = build_workload(8, 8)
+        return scheduler.schedule(applications, now=0.0, usage=usage), applications
+
+    (result, applications) = benchmark(one_pass)
+    total_requests = sum(len(app.all_requests()) for app in applications.values())
+    seconds = benchmark.stats.stats.mean
+    throughput = total_requests / seconds if seconds > 0 else float("inf")
+    print()
+    print(
+        format_table(
+            ["policy", "requests", "pass time (s)", "requests/s"],
+            [(policy, total_requests, f"{seconds:.4f}", f"{throughput:,.0f}")],
+        )
+    )
+    assert result.non_preemptive_views
+    assert throughput > 500, f"policy {policy} fell below the 500 req/s floor"

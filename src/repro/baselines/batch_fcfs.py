@@ -2,17 +2,23 @@
 
 This is the "current HPC RMS" the paper argues against: jobs are rigid, the
 allocation cannot change after it starts, and evolving applications must
-request their peak requirements for their whole runtime.  Scheduling is
-first-come-first-served with Conservative Back-Filling, built on the same
-:class:`~repro.core.cbf.ConservativeBackfillQueue` primitive as CooRMv2's
-pre-allocation scheduling -- which makes head-to-head comparisons meaningful.
+request their peak requirements for their whole runtime.
+
+The baseline is a *policy composition*, not a parallel code path: the queue
+discipline comes from the policy's ordering stage and the queue itself from
+its backfilling stage (:class:`~repro.core.cbf.ConservativeBackfillQueue` or
+:class:`~repro.policies.backfill.EasyBackfillQueue`) -- the same primitives
+CooRMv2's pre-allocation scheduling uses, which keeps head-to-head
+comparisons meaningful.  The default policy reproduces the classical
+first-come-first-served + Conservative Back-Filling RMS.
 """
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-from ..core.cbf import CbfJob, ConservativeBackfillQueue
+from ..core.cbf import CbfJob
+from ..policies.registry import resolve_policy
 from ..workloads.generator import RigidJobSpec
 
 __all__ = ["BatchJobOutcome", "BatchSchedulerBaseline", "peak_static_job"]
@@ -38,22 +44,34 @@ class BatchJobOutcome:
 
 
 class BatchSchedulerBaseline:
-    """FCFS + Conservative Back-Filling over a single homogeneous cluster."""
+    """Rigid batch scheduling over a single homogeneous cluster.
 
-    def __init__(self, node_count: int):
-        self.queue = ConservativeBackfillQueue(node_count)
+    *policy* is a scheduling-policy reference (registered name, stage
+    mapping or policy object); its ordering stage decides the queue order of
+    the jobs and its backfilling stage supplies the reservation discipline.
+    The default (``"coorm"``) composes FCFS ordering with Conservative
+    Back-Filling -- the classical batch RMS of the paper's comparison.
+    """
+
+    def __init__(self, node_count: int, policy=None):
+        self.policy = resolve_policy(policy)
+        self.queue = self.policy.backfill.make_queue(node_count)
         self.outcomes: List[BatchJobOutcome] = []
 
     def run(self, jobs: Sequence[RigidJobSpec]) -> List[BatchJobOutcome]:
-        """Schedule *jobs* (in submission order) and return their outcomes."""
-        for spec in sorted(jobs, key=lambda j: j.submit_time):
-            cbf_job = CbfJob(
+        """Schedule *jobs* (queue order per the policy) and return outcomes."""
+        ordered = self.policy.ordering.order_jobs(list(jobs))
+        cbf_jobs = [
+            CbfJob(
                 job_id=spec.job_id,
                 node_count=spec.node_count,
                 duration=spec.duration,
                 submit_time=spec.submit_time,
             )
-            start = self.queue.submit(cbf_job)
+            for spec in ordered
+        ]
+        starts = self.queue.submit_many(cbf_jobs)
+        for spec, start in zip(ordered, starts):
             self.outcomes.append(
                 BatchJobOutcome(
                     job_id=spec.job_id,

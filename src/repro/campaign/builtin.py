@@ -38,7 +38,12 @@ from ..workloads.trace import load_trace_cached
 from .registry import record_provenance, register_runner, register_scenario
 from .spec import PlatformSpec, RmsSpec, ScenarioSpec, WorkloadSpec, resolve_scale
 
-__all__ = ["clean_metrics"]
+__all__ = ["clean_metrics", "POLICY_AWARE_RUNNERS"]
+
+#: Runners that honour ``ScenarioSpec.policy``.  The figure runners
+#: reproduce fixed paper experiments and reject policy sweeps
+#: (see :func:`_require_default_policy`).
+POLICY_AWARE_RUNNERS = frozenset({"amr_psa"})
 
 #: Announce intervals of Figures 10/11 expressed relative to the PSA1 task
 #: duration (the paper sweeps 0..700 s against 600-second tasks), so the
@@ -62,6 +67,24 @@ def _apply_metrics_filter(spec: ScenarioSpec, metrics: Dict[str, object]) -> Dic
     if not spec.metrics:
         return metrics
     return {k: v for k, v in metrics.items() if k in spec.metrics}
+
+
+def _require_default_policy(spec: ScenarioSpec) -> None:
+    """Fail loudly when a policy-agnostic runner is asked to sweep policies.
+
+    The figure runners reproduce fixed paper experiments (fig11 even embeds
+    its own strict-vs-filling comparison); silently running the default
+    algorithm while the record claims another policy would fabricate a
+    policy comparison out of identical runs.  Only the generic ``amr_psa``
+    runner honours ``ScenarioSpec.policy``.
+    """
+    if spec.policy is not None and spec.policy_name != "coorm":
+        raise ValueError(
+            f"scenario {spec.name!r} (runner {spec.runner!r}) reproduces a fixed "
+            f"paper experiment and ignores scheduling policies; it cannot run "
+            f"under policy {spec.policy_name!r}. Sweep policies over 'amr_psa'-"
+            f"based scenarios (e.g. trace-replay, baseline-dynamic) instead."
+        )
 
 
 def _finish(spec: ScenarioSpec, metrics: Dict[str, object]) -> Dict[str, object]:
@@ -146,6 +169,7 @@ def run_amr_psa(spec: ScenarioSpec, seed: int) -> Dict[str, object]:
         cluster_nodes=spec.platform.cluster_nodes or None,
         kill_protocol_violators=spec.rms.kill_protocol_violators,
         violation_grace=spec.rms.violation_grace,
+        policy=spec.policy,
     )
     metrics = result.metrics.to_dict()
     metrics["cluster_nodes"] = result.cluster_nodes
@@ -165,6 +189,7 @@ def run_amr_psa(spec: ScenarioSpec, seed: int) -> Dict[str, object]:
 @register_runner("fig1")
 def run_fig1(spec: ScenarioSpec, seed: int) -> Dict[str, object]:
     """Shape statistics of one normalised AMR working-set profile."""
+    _require_default_policy(spec)
     num_steps = int(spec.params.get("num_steps", resolve_scale(spec).num_steps))
     params = (
         AmrEvolutionParameters(num_steps=num_steps)
@@ -188,6 +213,7 @@ def run_fig1(spec: ScenarioSpec, seed: int) -> Dict[str, object]:
 @register_runner("fig2")
 def run_fig2(spec: ScenarioSpec, seed: int) -> Dict[str, object]:
     """Model step durations per (mesh size, node count); seed-independent."""
+    _require_default_policy(spec)
     curves = fig2_speedup_fit.run()
     metrics: Dict[str, object] = {}
     for size_gib, curve in curves.items():
@@ -199,6 +225,7 @@ def run_fig2(spec: ScenarioSpec, seed: int) -> Dict[str, object]:
 @register_runner("fig3")
 def run_fig3(spec: ScenarioSpec, seed: int) -> Dict[str, object]:
     """End-time increase of the equivalent static allocation (one seed)."""
+    _require_default_policy(spec)
     scale = resolve_scale(spec)
     num_steps = int(spec.params.get("num_steps", scale.num_steps))
     points = fig3_static_endtime.run(
@@ -214,6 +241,7 @@ def run_fig3(spec: ScenarioSpec, seed: int) -> Dict[str, object]:
 @register_runner("fig4")
 def run_fig4(spec: ScenarioSpec, seed: int) -> Dict[str, object]:
     """Static-choice node-count ranges per relative peak size (one seed)."""
+    _require_default_policy(spec)
     scale = resolve_scale(spec)
     num_steps = int(spec.params.get("num_steps", scale.num_steps))
     rows = fig4_static_choices.run(seed=seed, num_steps=num_steps)
@@ -234,6 +262,7 @@ def _overcommit_factors(spec: ScenarioSpec) -> Tuple[float, ...]:
 @register_runner("fig9")
 def run_fig9(spec: ScenarioSpec, seed: int) -> Dict[str, object]:
     """Static-vs-dynamic overcommit sweep with spontaneous updates."""
+    _require_default_policy(spec)
     scale = resolve_scale(spec)
     points = fig9_spontaneous.run(_overcommit_factors(spec), scale=scale, seed=seed)
     metrics: Dict[str, object] = {}
@@ -259,6 +288,7 @@ def _announce_intervals(spec: ScenarioSpec, psa1_task_duration: float) -> Tuple[
 @register_runner("fig10")
 def run_fig10(spec: ScenarioSpec, seed: int) -> Dict[str, object]:
     """Announce-interval sweep: end-time increase, waste, used resources."""
+    _require_default_policy(spec)
     scale = resolve_scale(spec)
     intervals = _announce_intervals(spec, scale.psa1_task_duration)
     points = fig10_announced.run(intervals, scale=scale, seed=seed)
@@ -274,6 +304,7 @@ def run_fig10(spec: ScenarioSpec, seed: int) -> Dict[str, object]:
 @register_runner("fig11")
 def run_fig11(spec: ScenarioSpec, seed: int) -> Dict[str, object]:
     """Two-PSA filling-vs-strict equi-partitioning sweep."""
+    _require_default_policy(spec)
     scale = resolve_scale(spec)
     intervals = _announce_intervals(spec, scale.psa1_task_duration)
     points = fig11_two_psas.run(intervals, scale=scale, seed=seed)

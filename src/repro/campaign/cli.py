@@ -3,11 +3,13 @@
 Commands::
 
     python -m repro campaign run --scenarios fig9,fig10 --seeds 4 --workers 4
+    python -m repro campaign run --scenarios trace-replay --policies coorm,easy,sjf
     python -m repro campaign run --spec my_campaign.json
     python -m repro campaign list
     python -m repro campaign report <name> [--compare <other>]
     python -m repro campaign scenarios
     python -m repro trace info|convert|synth ...
+    python -m repro policy list|describe|stages
 
 ``campaign run`` executes the scenario x seed grid in parallel and persists
 one JSON-lines record per run under the results directory (``results/`` by
@@ -25,6 +27,8 @@ import sys
 from typing import List, Optional, Sequence
 
 from ..metrics.report import format_comparison, format_table
+from ..policies.cli import add_policy_commands, run_policy_command
+from ..policies.registry import resolve_policy
 from ..traces.cli import add_trace_commands, run_trace_command
 from . import builtin  # noqa: F401  (registers the built-in scenarios)
 from .registry import builtin_scenarios, resolve_scenarios
@@ -67,6 +71,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", choices=SCALE_NAMES, default=None,
         help="override the evaluation scale of every scenario",
     )
+    run.add_argument(
+        "--policies",
+        help="comma-separated scheduling policies; every scenario runs once "
+        "per policy on the same workload (see 'policy list')",
+    )
     run.add_argument("--name", help="campaign name (defaults to the scenario list)")
     run.add_argument("--results-dir", default=None, help="result store root")
     run.add_argument(
@@ -86,6 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
     actions.add_parser("scenarios", help="list built-in scenarios")
 
     add_trace_commands(commands)
+    add_policy_commands(commands)
 
     return parser
 
@@ -95,6 +105,15 @@ def _default_name(scenario_names: Sequence[str], seeds: int) -> str:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    policies = tuple(
+        p.strip() for p in (args.policies or "").split(",") if p.strip()
+    )
+    try:
+        for p in policies:
+            resolve_policy(p)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
     if args.spec:
         spec = CampaignSpec.load(args.spec)
         overrides = {}
@@ -107,6 +126,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             overrides["seeds"] = args.seeds
         if args.root_seed is not None:
             overrides["root_seed"] = args.root_seed
+        if policies:
+            overrides["policies"] = list(policies)
         if overrides:
             spec = CampaignSpec.from_dict({**spec.to_dict(), **overrides})
     else:
@@ -126,9 +147,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
             seeds=seeds,
             root_seed=0 if args.root_seed is None else args.root_seed,
             workers=args.workers or 1,
+            policies=policies,
         )
     if args.name and spec.name != args.name:
         spec = CampaignSpec.from_dict({**spec.to_dict(), "name": args.name})
+
+    if spec.policies:
+        unaware = sorted(
+            {s.runner for s in spec.scenarios} - set(builtin.POLICY_AWARE_RUNNERS)
+        )
+        if unaware:
+            print(
+                f"error: runner(s) {unaware} reproduce fixed paper experiments "
+                "and cannot sweep scheduling policies; use 'amr_psa'-based "
+                "scenarios (e.g. trace-replay, baseline-dynamic)",
+                file=sys.stderr,
+            )
+            return 2
 
     store = ResultStore(args.results_dir)
     try:
@@ -213,6 +248,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    matrix = store.policy_matrix(args.name, records)
     print(f"campaign {args.name!r}: per-scenario medians over replicates")
     for scenario in summary:
         print()
@@ -221,6 +257,21 @@ def _cmd_report(args: argparse.Namespace) -> int:
             print(f"workload: {_describe_provenance(provenance[scenario])}")
         rows = list(summary[scenario].items())
         print(format_table(["metric", "median"], rows))
+    # Policy-matrix campaigns additionally get a side-by-side comparison of
+    # every policy on the same base scenario (identical workload per seed).
+    for base in sorted(matrix):
+        policies = matrix[base]
+        if len(policies) < 2:
+            continue
+        policy_names = sorted(policies)
+        metrics = sorted(set().union(*(policies[p] for p in policy_names)))
+        rows = [
+            tuple([metric] + [policies[p].get(metric, "") for p in policy_names])
+            for metric in metrics
+        ]
+        print()
+        print(f"== {base}: policy comparison ==")
+        print(format_table(["metric"] + policy_names, rows))
     return 0
 
 
@@ -237,6 +288,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "trace":
         return run_trace_command(args)
+    if args.command == "policy":
+        return run_policy_command(args)
     handlers = {
         "run": _cmd_run,
         "list": _cmd_list,

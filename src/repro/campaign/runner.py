@@ -36,11 +36,16 @@ ProgressFn = Callable[[int, int, Mapping], None]
 
 @dataclass(frozen=True)
 class RunTask:
-    """One cell of the scenario x replicate grid."""
+    """One cell of the (policy x) scenario x replicate grid."""
 
     scenario: ScenarioSpec
     replicate: int
     seed: int
+    #: Name of the scenario before policy-matrix expansion (equals
+    #: ``scenario.name`` when no policy matrix is active).  The seed is
+    #: always derived from this name so every policy variant replays the
+    #: same workload.
+    base_scenario: str = ""
 
 
 @dataclass
@@ -67,6 +72,8 @@ def _execute_task(task: RunTask) -> Dict:
     metrics = dict(runner(task.scenario, task.seed))
     record = {
         "scenario": task.scenario.name,
+        "base_scenario": task.base_scenario or task.scenario.name,
+        "policy": task.scenario.policy_name,
         "replicate": task.replicate,
         "seed": task.seed,
         "runner": task.scenario.runner,
@@ -95,14 +102,19 @@ class CampaignRunner:
         self.progress = progress
 
     def tasks(self) -> List[RunTask]:
-        """The full grid, in canonical (scenario order, replicate) order."""
+        """The full grid, in canonical (scenario, policy, replicate) order.
+
+        Seeds derive from the *base* scenario name, so with a policy matrix
+        every policy variant of a scenario replays the same workload.
+        """
         return [
             RunTask(
-                scenario=scenario,
+                scenario=variant,
                 replicate=replicate,
-                seed=derive_seed(self.spec.root_seed, scenario.name, replicate),
+                seed=derive_seed(self.spec.root_seed, base_name, replicate),
+                base_scenario=base_name,
             )
-            for scenario in self.spec.scenarios
+            for variant, base_name in self.spec.expanded_scenarios()
             for replicate in range(self.spec.seeds)
         ]
 
@@ -143,7 +155,10 @@ class CampaignRunner:
                         self.progress(completed, len(tasks), record)
         elapsed = time.perf_counter() - started
 
-        order = {s.name: i for i, s in enumerate(self.spec.scenarios)}
+        order = {
+            variant.name: i
+            for i, (variant, _base) in enumerate(self.spec.expanded_scenarios())
+        }
         records.sort(key=lambda r: (order[r["scenario"]], r["replicate"]))
 
         store_path: Optional[str] = None

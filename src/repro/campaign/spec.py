@@ -19,6 +19,7 @@ from pathlib import Path
 from typing import Dict, Mapping, Optional, Tuple, Union
 
 from ..experiments.runner import EvaluationScale
+from ..policies.registry import policy_label, resolve_policy
 from ..traces.source import TraceSource
 
 __all__ = [
@@ -196,6 +197,11 @@ class ScenarioSpec:
     rms: RmsSpec = field(default_factory=RmsSpec)
     params: Mapping[str, object] = field(default_factory=dict)
     metrics: Tuple[str, ...] = ()
+    #: Scheduling policy of the simulated RMS: a registered policy name
+    #: (see ``python -m repro policy list``) or a declarative stage mapping
+    #: (``{"ordering": ..., "backfill": ..., "sharing": ...}``).  ``None``
+    #: keeps the paper's default composition (Algorithm 4).
+    policy: Optional[Union[str, Mapping]] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -206,9 +212,28 @@ class ScenarioSpec:
             raise ValueError(f"scale must be one of {SCALE_NAMES}, got {self.scale!r}")
         object.__setattr__(self, "params", dict(self.params))
         object.__setattr__(self, "metrics", tuple(str(m) for m in self.metrics))
+        if self.policy is not None:
+            if isinstance(self.policy, Mapping):
+                object.__setattr__(self, "policy", _jsonify(dict(self.policy)))
+            elif not isinstance(self.policy, str):
+                raise ValueError(
+                    "policy must be a registered name or a stage mapping, "
+                    f"got {self.policy!r}"
+                )
+            resolve_policy(self.policy)  # fail fast on unknown names/stages
 
     def with_scale(self, scale: str) -> "ScenarioSpec":
         return replace(self, scale=scale)
+
+    def with_policy(self, policy: Union[str, Mapping]) -> "ScenarioSpec":
+        """This scenario under another scheduling policy, suffix-renamed so
+        a policy matrix never produces duplicate scenario names."""
+        return replace(self, name=f"{self.name}@{policy_label(policy)}", policy=policy)
+
+    @property
+    def policy_name(self) -> str:
+        """Display name of the scenario's policy (default when unset)."""
+        return policy_label(self.policy)
 
     @property
     def trace(self) -> Optional[TraceSource]:
@@ -226,6 +251,7 @@ class ScenarioSpec:
             "rms": self.rms.to_dict(),
             "params": _jsonify(dict(self.params)),
             "metrics": list(self.metrics),
+            "policy": self.policy,
         }
 
     @classmethod
@@ -244,11 +270,17 @@ class ScenarioSpec:
 
 @dataclass(frozen=True)
 class CampaignSpec:
-    """A set of scenarios swept over a seed range.
+    """A set of scenarios swept over a seed range (and optionally policies).
 
     Every (scenario, replicate) pair becomes one run whose seed is
     ``derive_seed(root_seed, scenario.name, replicate)`` -- fully determined
     by the spec, never by execution order or worker count.
+
+    A non-empty ``policies`` tuple turns the campaign into a policy x
+    scenario x replicate matrix: every scenario is executed once per listed
+    policy (named ``<scenario>@<policy>``), and the run seed is still derived
+    from the *base* scenario name -- so every policy replays the exact same
+    workload and the per-policy metrics are directly comparable.
     """
 
     name: str
@@ -257,6 +289,9 @@ class CampaignSpec:
     root_seed: int = 0
     workers: int = 1
     description: str = ""
+    #: Scheduling policies to sweep every scenario over (empty = run each
+    #: scenario under its own ``policy`` field, the default being Algorithm 4).
+    policies: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -271,10 +306,31 @@ class CampaignSpec:
             raise ValueError("seeds must be positive")
         if self.workers <= 0:
             raise ValueError("workers must be positive")
+        object.__setattr__(self, "policies", tuple(str(p) for p in self.policies))
+        if len(set(self.policies)) != len(self.policies):
+            raise ValueError(f"duplicate policies in campaign: {list(self.policies)}")
+        for p in self.policies:
+            resolve_policy(p)  # fail fast on unknown policy names
 
     @property
     def run_count(self) -> int:
-        return len(self.scenarios) * self.seeds
+        return len(self.scenarios) * max(1, len(self.policies)) * self.seeds
+
+    def expanded_scenarios(self) -> Tuple[Tuple[ScenarioSpec, str], ...]:
+        """The policy x scenario grid as ``(variant, base_name)`` pairs.
+
+        Without a policy matrix every scenario maps to itself; with one,
+        each scenario yields one suffix-renamed variant per policy.  Seeds
+        must be derived from the *base* name so that all variants of one
+        scenario replay identical workloads.
+        """
+        if not self.policies:
+            return tuple((s, s.name) for s in self.scenarios)
+        return tuple(
+            (scenario.with_policy(policy), scenario.name)
+            for scenario in self.scenarios
+            for policy in self.policies
+        )
 
     def to_dict(self) -> Dict:
         return {
@@ -284,6 +340,7 @@ class CampaignSpec:
             "root_seed": self.root_seed,
             "workers": self.workers,
             "description": self.description,
+            "policies": list(self.policies),
         }
 
     @classmethod

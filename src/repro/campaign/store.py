@@ -92,7 +92,9 @@ class ResultStore:
         directory = self.campaign_dir(spec.name)
         directory.mkdir(parents=True, exist_ok=True)
 
-        order = {s.name: i for i, s in enumerate(spec.scenarios)}
+        order = {
+            variant.name: i for i, (variant, _base) in enumerate(spec.expanded_scenarios())
+        }
         ordered = sorted(records, key=_record_sort_key(order))
         lines = "".join(
             json.dumps(dict(r), sort_keys=True, allow_nan=False) + "\n" for r in ordered
@@ -193,6 +195,31 @@ class ResultStore:
             if isinstance(record.get("provenance"), Mapping):
                 provenance[scenario] = dict(record["provenance"])
         return provenance
+
+    def policy_matrix(
+        self, name: str, records: Optional[Sequence[Mapping]] = None
+    ) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """Per-policy medians: ``{base_scenario: {policy: {metric: median}}}``.
+
+        Groups the records of one campaign by their pre-expansion scenario
+        name and the policy that produced them, so a policy-matrix campaign
+        can be read as a side-by-side comparison.  Records written before
+        the policy field existed count as the default policy.
+        """
+        grouped: Dict[str, Dict[str, List[Mapping]]] = {}
+        for record in records if records is not None else self.load_records(name):
+            base = str(record.get("base_scenario") or record.get("scenario", ""))
+            policy = str(record.get("policy") or "coorm")
+            grouped.setdefault(base, {}).setdefault(policy, []).append(
+                record.get("metrics", {})
+            )
+        return {
+            base: {
+                policy: median_summary(metrics)
+                for policy, metrics in policies.items()
+            }
+            for base, policies in grouped.items()
+        }
 
     def compare(
         self, name_a: str, name_b: str

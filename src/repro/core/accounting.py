@@ -132,6 +132,19 @@ class Accountant:
             if rec.rtype is not RequestType.PREALLOCATION
         )
 
+    def used_node_seconds_by_app(self) -> Dict[str, float]:
+        """Node-seconds actually allocated per application (no pre-allocations).
+
+        One pass over the records; used by fair-share queue ordering to rank
+        applications by accumulated consumption before each scheduling pass.
+        """
+        out: Dict[str, float] = {}
+        for rec in self.records:
+            if rec.rtype is RequestType.PREALLOCATION:
+                continue
+            out[rec.app_id] = out.get(rec.app_id, 0.0) + rec.node_seconds
+        return out
+
     def used_node_seconds_by_type(self) -> Dict[RequestType, float]:
         """Total node-seconds per request type."""
         out: Dict[RequestType, float] = {t: 0.0 for t in RequestType}

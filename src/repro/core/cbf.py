@@ -23,7 +23,7 @@ from .errors import CapacityError
 from .profile import StepFunction
 from .types import Time
 
-__all__ = ["CbfJob", "ConservativeBackfillQueue"]
+__all__ = ["CbfJob", "ConservativeBackfillQueue", "RigidQueueMetrics"]
 
 
 @dataclass
@@ -49,7 +49,37 @@ class CbfJob:
         return self.start_time - self.submit_time
 
 
-class ConservativeBackfillQueue:
+class RigidQueueMetrics:
+    """Aggregate metrics shared by every rigid-job queue discipline.
+
+    Subclasses provide ``node_count`` and a ``_jobs`` list of scheduled
+    :class:`CbfJob` instances; the metric definitions live here once so the
+    conservative and EASY queues can never drift apart.
+    """
+
+    node_count: int
+    _jobs: List[CbfJob]
+
+    def makespan(self) -> Time:
+        """Completion time of the last scheduled job."""
+        ends = [j.end_time for j in self._jobs if j.end_time is not None]
+        return max(ends) if ends else 0.0
+
+    def mean_wait_time(self) -> float:
+        """Average waiting time over all scheduled jobs."""
+        waits = [j.wait_time() for j in self._jobs if j.wait_time() is not None]
+        return sum(waits) / len(waits) if waits else 0.0
+
+    def utilisation(self) -> float:
+        """Fraction of node-seconds used until the makespan."""
+        horizon = self.makespan()
+        if horizon <= 0:
+            return 0.0
+        used = sum(j.node_count * min(j.duration, horizon - j.start_time) for j in self._jobs)
+        return used / (self.node_count * horizon)
+
+
+class ConservativeBackfillQueue(RigidQueueMetrics):
     """Conservative back-filling scheduler for a single homogeneous cluster.
 
     Every submitted job immediately receives a reservation; the availability
@@ -115,24 +145,3 @@ class ConservativeBackfillQueue:
                 release_from, reserved_end - release_from, job.node_count
             )
         job.duration = max(0.0, release_from - job.start_time)
-
-    # ------------------------------------------------------------------ #
-    # Metrics
-    # ------------------------------------------------------------------ #
-    def makespan(self) -> Time:
-        """Completion time of the last scheduled job."""
-        ends = [j.end_time for j in self._jobs if j.end_time is not None]
-        return max(ends) if ends else 0.0
-
-    def mean_wait_time(self) -> float:
-        """Average waiting time over all scheduled jobs."""
-        waits = [j.wait_time() for j in self._jobs if j.wait_time() is not None]
-        return sum(waits) / len(waits) if waits else 0.0
-
-    def utilisation(self) -> float:
-        """Fraction of node-seconds used until the makespan."""
-        horizon = self.makespan()
-        if horizon <= 0:
-            return 0.0
-        used = sum(j.node_count * min(j.duration, horizon - j.start_time) for j in self._jobs)
-        return used / (self.node_count * horizon)

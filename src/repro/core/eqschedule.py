@@ -28,7 +28,7 @@ from .toview import to_view
 from .types import ClusterId, Time
 from .view import View
 
-__all__ = ["eq_schedule", "max_min_fair"]
+__all__ = ["eq_schedule", "max_min_fair", "partition_schedule", "weighted_max_min_fair"]
 
 
 def max_min_fair(demands: Sequence[int], capacity: int) -> List[int]:
@@ -48,6 +48,46 @@ def max_min_fair(demands: Sequence[int], capacity: int) -> List[int]:
         for i in list(unsatisfied):
             if remaining <= 0:
                 break
+            grant = min(share, demands[i] - alloc[i], remaining)
+            if grant > 0:
+                alloc[i] += grant
+                remaining -= grant
+                progressed = True
+            if alloc[i] >= demands[i]:
+                unsatisfied.remove(i)
+        if not progressed:
+            break
+    return alloc
+
+
+def weighted_max_min_fair(
+    demands: Sequence[int], weights: Sequence[float], capacity: int
+) -> List[int]:
+    """Weighted max-min fair integer allocation of *capacity* among *demands*.
+
+    Water-filling where each unsatisfied application receives capacity in
+    proportion to its weight.  With uniform weights this degenerates to
+    :func:`max_min_fair`.  Allocations never exceed the demand and their sum
+    never exceeds the capacity.
+    """
+    n = len(demands)
+    if len(weights) != n:
+        raise ValueError("demands and weights must have the same length")
+    if any(w <= 0 for w in weights):
+        raise ValueError("weights must be positive")
+    alloc = [0] * n
+    remaining = int(capacity)
+    unsatisfied = [i for i in range(n) if demands[i] > 0]
+    while remaining > 0 and unsatisfied:
+        total_weight = sum(weights[i] for i in unsatisfied)
+        # Shares are computed against the capacity left at the start of the
+        # round, so the split within one round is order-independent.
+        round_remaining = remaining
+        progressed = False
+        for i in list(unsatisfied):
+            if remaining <= 0:
+                break
+            share = max(int(round_remaining * weights[i] // total_weight), 1)
             grant = min(share, demands[i] - alloc[i], remaining)
             if grant > 0:
                 alloc[i] += grant
@@ -150,6 +190,37 @@ def eq_schedule(
     dict
         Application id -> preemptive view ``V_P^{(i)}``.
     """
+    return partition_schedule(
+        preemptible_sets,
+        available,
+        not_before,
+        horizon=horizon,
+        partition=lambda demands, capacity: _partition_interval(demands, capacity, strict),
+    )
+
+
+def partition_schedule(
+    preemptible_sets: Mapping[str, RequestSet],
+    available: View,
+    not_before: Time,
+    horizon: Time = None,
+    partition=None,
+) -> Dict[str, View]:
+    """Share *available* among preemptible requests under a partition policy.
+
+    This is the sharing machinery of Algorithm 3 with the per-interval
+    partition rule factored out: *partition* is called with the applications'
+    integer demands and the interval's capacity (``(demands, capacity) ->
+    values``, in application arrival order) and returns the node count each
+    application's preemptive view shows for that interval.
+    :func:`eq_schedule` plugs in equi-partitioning (with or without filling);
+    the policy subsystem (:mod:`repro.policies.sharing`) supplies alternative
+    rules such as weighted max-min sharing.
+    """
+    if partition is None:
+        def partition(demands, capacity):
+            return _partition_interval(demands, capacity, False)
+
     app_ids = list(preemptible_sets.keys())
 
     # Step 1: preliminary occupation views (Algorithm 3, lines 1-3).
@@ -187,7 +258,7 @@ def eq_schedule(
             demands = [
                 int(math.ceil(occupation[a][cid].value_at(t) - 1e-9)) for a in app_ids
             ]
-            values = _partition_interval(demands, capacity, strict)
+            values = partition(demands, capacity)
             for a, v in zip(app_ids, values):
                 per_app_values[a].append(float(v))
         for a in app_ids:

@@ -68,6 +68,12 @@ class CooRMv2:
     accountant:
         Optional :class:`~repro.core.accounting.Accountant`; a fresh one is
         created when omitted.
+    policy:
+        Scheduling policy driving the passes: a registered policy name, a
+        stage mapping, or a :class:`~repro.policies.SchedulingPolicy`
+        object.  Defaults to the paper's Algorithm 4 composition
+        (``"coorm"``; ``strict_equipartition=True`` without an explicit
+        policy selects ``"coorm-strict"``).
     """
 
     def __init__(
@@ -79,6 +85,7 @@ class CooRMv2:
         kill_protocol_violators: bool = False,
         violation_grace: float = 30.0,
         accountant: Optional[Accountant] = None,
+        policy=None,
     ):
         if rescheduling_interval < 0:
             raise ValueError("rescheduling_interval must be non-negative")
@@ -87,7 +94,9 @@ class CooRMv2:
         self.rescheduling_interval = float(rescheduling_interval)
         self.kill_protocol_violators = kill_protocol_violators
         self.violation_grace = float(violation_grace)
-        self.scheduler = Scheduler(platform.capacity(), strict_equipartition)
+        self.scheduler = Scheduler(
+            platform.capacity(), strict_equipartition, policy=policy
+        )
         self.accountant = accountant if accountant is not None else Accountant()
         self.event_log = EventLog()
 
@@ -104,6 +113,11 @@ class CooRMv2:
     def now(self) -> Time:
         """Current simulated time."""
         return self.simulator.now
+
+    @property
+    def policy(self):
+        """The scheduling policy driving this RMS's passes."""
+        return self.scheduler.policy
 
     # ------------------------------------------------------------------ #
     # Session management
@@ -456,7 +470,12 @@ class CooRMv2:
         }
         if not applications:
             return
-        result = self.scheduler.schedule(applications, self.now)
+        # Usage-aware queue orderings (fair-share) consult the accountant;
+        # the aggregation walk is skipped for every other policy.
+        usage = None
+        if self.scheduler.policy.ordering.needs_usage:
+            usage = self.accountant.used_node_seconds_by_app()
+        result = self.scheduler.schedule(applications, self.now, usage=usage)
 
         # Start requests whose time has come.  Non-preemptible requests that
         # cannot get node IDs yet (resources not released) stay pending and

@@ -26,15 +26,22 @@ charged against it.  This is the paper's "implicitly wrapped in
 pre-allocations of the same size" rule (Section 3.2) and is what lets rigid
 and moldable applications -- which never send pre-allocations -- be scheduled
 at all.
+
+The three behavioural choices above -- serve applications in connection
+order, give every pending request a reservation, equi-partition the
+remainder -- are policy *stages* supplied by :mod:`repro.policies`.  The
+default policy (``coorm``) composes exactly those stages and reproduces
+Algorithm 4; alternative registered policies swap the queue ordering, the
+backfilling discipline or the sharing rule independently.
 """
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping
+from typing import Dict, List, Mapping, Optional
 
-from .eqschedule import eq_schedule
-from .fit import fit
+from ..policies.base import SchedulingContext
+from ..policies.registry import DEFAULT_POLICY, STRICT_POLICY, resolve_policy
 from .request import Request
 from .request_set import ApplicationRequests
 from .toview import to_view
@@ -67,19 +74,43 @@ class Scheduler:
     capacity:
         Mapping of cluster id to total node count of that cluster.
     strict_equipartition:
-        When True, preemptible resources are shared with the *strict*
-        equi-partitioning baseline instead of CooRMv2's
-        equi-partitioning-with-filling (used for the Figure 11 comparison).
+        When True (and no explicit *policy* is given), preemptible resources
+        are shared with the *strict* equi-partitioning baseline instead of
+        CooRMv2's equi-partitioning-with-filling (the Figure 11 comparison).
+        Shorthand for ``policy="coorm-strict"``.
+    policy:
+        The :class:`~repro.policies.SchedulingPolicy` driving the pass --
+        a policy object, a registered name, or a stage mapping (see
+        :func:`repro.policies.resolve_policy`).  Defaults to ``"coorm"``,
+        the composition that reproduces Algorithm 4 exactly.
     """
 
-    def __init__(self, capacity: Mapping[ClusterId, int], strict_equipartition: bool = False):
+    def __init__(
+        self,
+        capacity: Mapping[ClusterId, int],
+        strict_equipartition: bool = False,
+        policy=None,
+    ):
         if not capacity:
             raise ValueError("the platform needs at least one cluster")
         for cid, n in capacity.items():
             if n <= 0:
                 raise ValueError(f"cluster {cid!r} must have a positive node count")
         self.capacity: Dict[ClusterId, int] = dict(capacity)
-        self.strict_equipartition = strict_equipartition
+        if policy is None:
+            policy = STRICT_POLICY if strict_equipartition else DEFAULT_POLICY
+        self.policy = resolve_policy(policy)
+        if strict_equipartition and self.policy.sharing.name != "strict-eq":
+            # Both knobs were given and they disagree; running the policy's
+            # sharing while the caller asked for the strict baseline would
+            # silently corrupt a Figure 11-style comparison.
+            raise ValueError(
+                f"strict_equipartition=True conflicts with policy "
+                f"{self.policy.name!r} (sharing {self.policy.sharing.name!r}); "
+                f"drop the flag or use a strict-sharing policy such as "
+                f"{STRICT_POLICY!r}"
+            )
+        self.strict_equipartition = self.policy.sharing.name == "strict-eq"
 
     # ------------------------------------------------------------------ #
     def full_view(self) -> View:
@@ -90,9 +121,24 @@ class Scheduler:
         self,
         applications: Mapping[str, ApplicationRequests],
         now: Time,
+        usage: Optional[Mapping[str, float]] = None,
     ) -> ScheduleResult:
-        """Run one scheduling pass over *applications* (in connection order)."""
+        """Run one scheduling pass over *applications*.
+
+        *applications* maps application id to its request sets in connection
+        order; the policy's ordering stage decides the actual serving order
+        (FCFS -- the default -- keeps the connection order, which yields the
+        paper's conservative back-filling).  *usage* optionally carries the
+        per-application consumed node-seconds for usage-aware orderings.
+        """
         result = ScheduleResult(now=now)
+        ctx = SchedulingContext(now=now, capacity=self.capacity, usage=usage or {})
+        order = self.policy.ordering.order(applications, ctx)
+        if sorted(order) != sorted(applications):
+            raise ValueError(
+                f"ordering stage {self.policy.ordering.name!r} did not return "
+                "a permutation of the applications"
+            )
 
         # Line 1-2: scratch views start with the whole platform.
         available_non_preemptible = self.full_view()
@@ -116,17 +162,31 @@ class Scheduler:
             if not overflow_started.is_zero():
                 available_non_preemptible = available_non_preemptible - overflow_started
 
-        # Lines 6-11: per-application pass, in connection order.
-        for app_id, requests in applications.items():
+        # Lines 6-11: per-application pass, in policy queue order (FCFS =
+        # connection order, the paper's conservative back-filling).
+        backfill = self.policy.backfill
+        head_seen = False
+        for app_id in order:
+            requests = applications[app_id]
             pa_occ = started_pa_occ[app_id]
             np_occ = started_np_occ[app_id]
+
+            # The first application in queue order with pending work is the
+            # queue head; EASY-style backfilling reserves only for it.
+            has_pending = bool(requests.preallocations.pending()) or bool(
+                requests.non_preemptible.pending()
+            )
+            is_head = has_pending and not head_seen
+            head_seen = head_seen or has_pending
 
             # Line 7: the application's non-preemptive view.
             view_np = (pa_occ + available_non_preemptible).clip_low(0.0)
             result.non_preemptive_views[app_id] = view_np
 
             # Line 8: fit pending pre-allocations into that view.
-            occ_pending_pa = fit(requests.preallocations, view_np, now)
+            occ_pending_pa = backfill.fit_pending(
+                requests.preallocations, view_np, now, head_app=is_head
+            )
 
             # Line 9: fit pending non-preemptible requests inside the
             # application's pre-allocated space (started + newly placed).
@@ -142,7 +202,9 @@ class Scheduler:
             else:
                 free_space = (available_non_preemptible - occ_pending_pa).clip_low(0.0)
                 fit_space = inside_pa + free_space
-            occ_pending_np = fit(requests.non_preemptible, fit_space, now)
+            occ_pending_np = backfill.fit_pending(
+                requests.non_preemptible, fit_space, now, head_app=is_head
+            )
 
             # Overflow of newly placed non-preemptible requests beyond the
             # pre-allocated space consumes non-preemptible availability too.
@@ -154,15 +216,16 @@ class Scheduler:
             )
             available_preemptible = available_preemptible - occ_pending_np
 
-        # Line 12: equi-partition the preemptible space.
+        # Line 12: share the preemptible space (equi-partitioning by default).
+        # Sharing always sees the applications in connection order -- queue
+        # ordering governs the non-preemptive pass only.
         preemptible_sets = {
             app_id: requests.preemptible for app_id, requests in applications.items()
         }
-        result.preemptive_views = eq_schedule(
+        result.preemptive_views = self.policy.sharing.share(
             preemptible_sets,
             available_preemptible.clip_low(0.0),
             now,
-            strict=self.strict_equipartition,
         )
 
         # Lines 13-14: collect requests that must start now.
@@ -181,5 +244,8 @@ class Scheduler:
         return sum(self.capacity.values())
 
     def __repr__(self) -> str:
-        mode = "strict-eq" if self.strict_equipartition else "eq-filling"
-        return f"Scheduler({self.capacity}, {mode})"
+        stages = self.policy.stage_names()
+        return (
+            f"Scheduler({self.capacity}, {self.policy.name}: "
+            f"{stages['ordering']}/{stages['backfill']}/{stages['sharing']})"
+        )

@@ -158,6 +158,7 @@ def run_scenario(
     kill_protocol_violators: bool = False,
     violation_grace: float = 30.0,
     horizon: Optional[float] = None,
+    policy=None,
 ) -> ScenarioResult:
     """Run one AMR + PSA(s) scenario and collect its metrics.
 
@@ -175,6 +176,10 @@ def run_scenario(
     applications (see :mod:`repro.traces.convert`), *cluster_nodes* pins the
     platform size instead of deriving it from the AMR pre-allocation, and
     *kill_protocol_violators* / *violation_grace* forward to the RMS.
+
+    *policy* selects the scheduling policy (a registered name, stage mapping
+    or :class:`~repro.policies.SchedulingPolicy`); when given it supersedes
+    the *strict_equipartition* shorthand.
     """
     if overcommit <= 0:
         raise ValueError("overcommit must be positive")
@@ -201,6 +206,7 @@ def run_scenario(
         strict_equipartition=strict_equipartition,
         kill_protocol_violators=kill_protocol_violators,
         violation_grace=violation_grace,
+        policy=policy,
     )
 
     amr: Optional[AmrApplication] = None

@@ -1,0 +1,91 @@
+"""Pluggable scheduling policies for the CooRMv2 reproduction.
+
+The scheduler's behaviour decomposes into three orthogonal stages -- queue
+ordering, backfilling and preemptible sharing -- and a
+:class:`SchedulingPolicy` composes one implementation of each.  The paper's
+Algorithm 4 is the default composition (``coorm``: FCFS + conservative
+back-filling + equi-partitioning with filling); registered alternatives swap
+individual stages (EASY backfilling, shortest-job-first or fair-share
+ordering, weighted max-min sharing, ...).
+
+Policies are referenced by name (or by an explicit stage mapping) from
+:class:`~repro.campaign.spec.ScenarioSpec`, the ``--policies`` campaign
+matrix and ``python -m repro policy list|describe``.
+"""
+from .base import (
+    BackfillStrategy,
+    OrderingStrategy,
+    SchedulingContext,
+    SharingStrategy,
+)
+from .backfill import ConservativeBackfill, EasyBackfill, EasyBackfillQueue
+from .ordering import (
+    FairShareOrdering,
+    FcfsOrdering,
+    LargestAreaFirstOrdering,
+    ShortestJobFirstOrdering,
+)
+from .policy import SchedulingPolicy
+from .registry import (
+    DEFAULT_POLICY,
+    STRICT_POLICY,
+    backfill_names,
+    describe_policy,
+    get_policy,
+    make_backfill,
+    make_ordering,
+    make_sharing,
+    ordering_names,
+    policy_label,
+    policy_names,
+    register_backfill,
+    register_ordering,
+    register_policy,
+    register_sharing,
+    resolve_policy,
+    sharing_names,
+)
+from .sharing import (
+    EquipartitionSharing,
+    StrictEquipartitionSharing,
+    WeightedMaxMinSharing,
+)
+
+__all__ = [
+    # protocols
+    "SchedulingContext",
+    "OrderingStrategy",
+    "BackfillStrategy",
+    "SharingStrategy",
+    # composition
+    "SchedulingPolicy",
+    # stage implementations
+    "FcfsOrdering",
+    "ShortestJobFirstOrdering",
+    "LargestAreaFirstOrdering",
+    "FairShareOrdering",
+    "ConservativeBackfill",
+    "EasyBackfill",
+    "EasyBackfillQueue",
+    "EquipartitionSharing",
+    "StrictEquipartitionSharing",
+    "WeightedMaxMinSharing",
+    # registry
+    "DEFAULT_POLICY",
+    "STRICT_POLICY",
+    "register_ordering",
+    "register_backfill",
+    "register_sharing",
+    "register_policy",
+    "make_ordering",
+    "make_backfill",
+    "make_sharing",
+    "get_policy",
+    "resolve_policy",
+    "policy_label",
+    "policy_names",
+    "ordering_names",
+    "backfill_names",
+    "sharing_names",
+    "describe_policy",
+]

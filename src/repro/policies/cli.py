@@ -1,0 +1,116 @@
+"""The ``python -m repro policy`` command group.
+
+Commands::
+
+    python -m repro policy list
+    python -m repro policy describe NAME [--json]
+    python -m repro policy stages
+
+``list`` fronts the policy registry with one line per registered policy;
+``describe`` prints a policy's stage composition and documentation;
+``stages`` enumerates the individual stage implementations a custom
+policy mapping may reference.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..metrics.report import format_table
+from .registry import (
+    backfill_names,
+    describe_policy,
+    get_policy,
+    make_backfill,
+    make_ordering,
+    make_sharing,
+    ordering_names,
+    policy_names,
+    sharing_names,
+)
+
+__all__ = ["add_policy_commands", "run_policy_command"]
+
+
+def add_policy_commands(commands: argparse._SubParsersAction) -> None:
+    """Attach the ``policy`` command group to the top-level CLI parser."""
+    policy = commands.add_parser(
+        "policy", help="inspect the scheduling-policy registry"
+    )
+    actions = policy.add_subparsers(dest="action", required=True)
+
+    actions.add_parser("list", help="list registered policies")
+
+    describe = actions.add_parser(
+        "describe", help="show one policy's stage composition"
+    )
+    describe.add_argument("name", help="registered policy name")
+    describe.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
+    actions.add_parser("stages", help="list individual stage implementations")
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in policy_names():
+        entry = describe_policy(name)
+        rows.append(
+            (
+                name,
+                entry["ordering"],
+                entry["backfill"],
+                entry["sharing"],
+                entry["description"],
+            )
+        )
+    print(format_table(["policy", "ordering", "backfill", "sharing", "description"], rows))
+    return 0
+
+
+def _first_doc_line(obj) -> str:
+    doc = (obj.__doc__ or "").strip()
+    return doc.splitlines()[0] if doc else ""
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    try:
+        policy = get_policy(args.name)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(policy.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(policy.describe())
+    print()
+    rows = [
+        ("ordering", policy.ordering.name, _first_doc_line(policy.ordering)),
+        ("backfill", policy.backfill.name, _first_doc_line(policy.backfill)),
+        ("sharing", policy.sharing.name, _first_doc_line(policy.sharing)),
+    ]
+    print(format_table(["stage", "implementation", "behaviour"], rows))
+    return 0
+
+
+def _cmd_stages(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in ordering_names():
+        rows.append(("ordering", name, _first_doc_line(make_ordering(name))))
+    for name in backfill_names():
+        rows.append(("backfill", name, _first_doc_line(make_backfill(name))))
+    for name in sharing_names():
+        rows.append(("sharing", name, _first_doc_line(make_sharing(name))))
+    print(format_table(["stage", "name", "behaviour"], rows))
+    return 0
+
+
+def run_policy_command(args: argparse.Namespace) -> int:
+    handlers = {
+        "list": _cmd_list,
+        "describe": _cmd_describe,
+        "stages": _cmd_stages,
+    }
+    return handlers[args.action](args)

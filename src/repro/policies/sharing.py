@@ -1,0 +1,114 @@
+"""Preemptible-sharing stages: equi-partitioning and weighted max-min.
+
+All strategies run on the generic interval machinery of
+:func:`repro.core.eqschedule.partition_schedule`; they only differ in the
+per-interval partition rule that maps ``(demands, capacity)`` to the node
+counts shown in each application's preemptive view.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..core.eqschedule import eq_schedule, partition_schedule, weighted_max_min_fair
+from ..core.request_set import RequestSet
+from ..core.types import Time
+from ..core.view import View
+from .base import SharingStrategy
+
+__all__ = [
+    "EquipartitionSharing",
+    "StrictEquipartitionSharing",
+    "WeightedMaxMinSharing",
+]
+
+
+class EquipartitionSharing(SharingStrategy):
+    """Equi-partitioning with filling -- CooRMv2's policy (Algorithm 3)."""
+
+    name = "eq-filling"
+
+    def share(
+        self, preemptible_sets: Mapping[str, RequestSet], available: View, now: Time
+    ) -> Dict[str, View]:
+        return eq_schedule(preemptible_sets, available, now, strict=False)
+
+
+class StrictEquipartitionSharing(SharingStrategy):
+    """Strict equi-partitioning -- the Figure 11 baseline (no filling)."""
+
+    name = "strict-eq"
+
+    def share(
+        self, preemptible_sets: Mapping[str, RequestSet], available: View, now: Time
+    ) -> Dict[str, View]:
+        return eq_schedule(preemptible_sets, available, now, strict=True)
+
+
+class WeightedMaxMinSharing(SharingStrategy):
+    """Weighted max-min fair sharing of the preemptible capacity.
+
+    When the applications together demand more than an interval offers, the
+    capacity is water-filled in proportion to per-application weights
+    (uniform by default); every active application is guaranteed at least its
+    weighted slice.  When the interval is not congested, applications see
+    what the others leave unused -- the same filling rule as
+    equi-partitioning, so idle resources remain visible.
+    """
+
+    name = "maxmin-weighted"
+
+    def __init__(self, weights: Optional[Mapping[str, float]] = None):
+        if weights is not None and any(w <= 0 for w in weights.values()):
+            raise ValueError("sharing weights must be positive")
+        self.weights = dict(weights) if weights else {}
+
+    def share(
+        self, preemptible_sets: Mapping[str, RequestSet], available: View, now: Time
+    ) -> Dict[str, View]:
+        app_ids = list(preemptible_sets)
+        weights = [float(self.weights.get(app_id, 1.0)) for app_id in app_ids]
+        return partition_schedule(
+            preemptible_sets,
+            available,
+            now,
+            partition=lambda demands, capacity: self._partition(
+                demands, weights, capacity
+            ),
+        )
+
+    @staticmethod
+    def _partition(
+        demands: Sequence[int], weights: Sequence[float], capacity: int
+    ) -> List[int]:
+        n_apps = len(demands)
+        if n_apps == 0:
+            return []
+        active = [i for i in range(n_apps) if demands[i] > 0]
+        total_demand = sum(demands)
+        views = [0] * n_apps
+
+        if total_demand > capacity:
+            # Congested: weighted water-filling among the active applications;
+            # the view never shows less than the weighted equal slice, and
+            # inactive applications see the slice they would get by joining.
+            fair = weighted_max_min_fair(demands, weights, capacity)
+            active_weight = sum(weights[i] for i in active)
+            for i in range(n_apps):
+                if demands[i] > 0:
+                    slice_i = int(capacity * weights[i] / active_weight)
+                    views[i] = max(fair[i], slice_i)
+                else:
+                    would_join = active_weight + weights[i]
+                    views[i] = int(capacity * weights[i] / would_join)
+        else:
+            # Not congested: show each application what the others leave
+            # free, but never less than its weighted slice.
+            for i in range(n_apps):
+                others = total_demand - demands[i]
+                leftover = capacity - others
+                pool = [weights[j] for j in active]
+                if demands[i] <= 0:
+                    pool = pool + [weights[i]]
+                slice_i = int(capacity * weights[i] / sum(pool)) if pool else capacity
+                views[i] = max(leftover, slice_i)
+        return views

@@ -1,9 +1,16 @@
-"""Shared fixtures of the test suite."""
+"""Shared fixtures of the test suite.
+
+The request/application/RMS factories live in :mod:`repro.testing` (one
+home instead of per-module copies); this file re-exports them as fixtures
+so test classes can request them by name, while modules that prefer plain
+helpers import from ``repro.testing`` directly.
+"""
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
+from repro import testing
 from repro.cluster import Platform
 from repro.core import CooRMv2
 from repro.models import SpeedupModel, WorkingSetEvolution
@@ -38,9 +45,39 @@ def small_evolution() -> WorkingSetEvolution:
 
 def make_rms(node_count: int = 64, strict: bool = False, interval: float = 1.0):
     """Build a (simulator, platform, rms) triple for ad-hoc scenarios."""
-    simulator = Simulator()
-    platform = Platform.single_cluster(node_count)
-    rms = CooRMv2(
-        platform, simulator, rescheduling_interval=interval, strict_equipartition=strict
+    return testing.make_env(
+        nodes=node_count, interval=interval, strict_equipartition=strict
     )
-    return simulator, platform, rms
+
+
+# --------------------------------------------------------------------- #
+# Shared builder fixtures (delegating to repro.testing)
+# --------------------------------------------------------------------- #
+@pytest.fixture
+def request_builders():
+    """The (pa, np_, p_) request factories as one namespace."""
+    return testing
+
+
+@pytest.fixture
+def app_factory():
+    """Factory building an application's request sets from requests."""
+    return testing.app_with
+
+
+@pytest.fixture
+def pset_factory():
+    """Factory building a preemptible request set from requests."""
+    return testing.p_set
+
+
+@pytest.fixture
+def rms_env_factory():
+    """Factory building a wired (simulator, platform, RMS) triple."""
+    return testing.make_env
+
+
+@pytest.fixture
+def recording_app_cls():
+    """Application class that records every RMS callback."""
+    return testing.RecordingApp

@@ -254,8 +254,19 @@ class TestStoredRecordShape:
         CampaignRunner(spec, store=store).run()
         (line,) = store.runs_path(spec.name).read_text().strip().splitlines()
         record = json.loads(line)
-        assert set(record) == {"scenario", "replicate", "seed", "runner", "scale", "metrics"}
+        assert set(record) == {
+            "scenario",
+            "base_scenario",
+            "policy",
+            "replicate",
+            "seed",
+            "runner",
+            "scale",
+            "metrics",
+        }
         assert record["scenario"] == "baseline-dynamic"
+        assert record["base_scenario"] == "baseline-dynamic"
+        assert record["policy"] == "coorm"
         assert record["replicate"] == 0
         assert record["runner"] == "amr_psa"
         assert record["scale"] == "tiny"

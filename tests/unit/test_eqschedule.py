@@ -4,24 +4,15 @@ from __future__ import annotations
 import pytest
 
 from repro.core import (
-    Request,
-    RequestSet,
-    RequestType,
     View,
     eq_schedule,
     max_min_fair,
 )
+from repro.testing import p_, p_set
 
 
 def p_request(n, duration=float("inf"), cluster="c"):
-    return Request(cluster, n, duration, RequestType.PREEMPTIBLE)
-
-
-def p_set(*requests):
-    rs = RequestSet(RequestType.PREEMPTIBLE)
-    for r in requests:
-        rs.add(r)
-    return rs
+    return p_(n, duration, cluster)
 
 
 class TestMaxMinFair:

@@ -20,32 +20,7 @@ from repro.core import (
 )
 from repro.cluster import Platform
 from repro.sim import Simulator
-
-
-class RecordingApp:
-    """A minimal application that records every callback."""
-
-    def __init__(self, name: str):
-        self.name = name
-        self.views = []
-        self.started = []
-        self.killed_reason = None
-
-    def on_views(self, non_preemptive, preemptive):
-        self.views.append((non_preemptive, preemptive))
-
-    def on_start(self, request, node_ids):
-        self.started.append((request, node_ids))
-
-    def on_killed(self, reason):
-        self.killed_reason = reason
-
-
-def make_env(nodes=16, **kwargs):
-    sim = Simulator()
-    platform = Platform.single_cluster(nodes)
-    rms = CooRMv2(platform, sim, rescheduling_interval=1.0, **kwargs)
-    return sim, platform, rms
+from repro.testing import RecordingApp, make_env
 
 
 class TestSessions:

@@ -5,32 +5,8 @@ import math
 
 import pytest
 
-from repro.core import (
-    ApplicationRequests,
-    RelatedHow,
-    Request,
-    RequestType,
-    Scheduler,
-)
-
-
-def app_with(*requests, app_id="app"):
-    app = ApplicationRequests(app_id)
-    for r in requests:
-        app.add(r)
-    return app
-
-
-def pa(n, duration=math.inf, cluster="c0"):
-    return Request(cluster, n, duration, RequestType.PREALLOCATION)
-
-
-def np_(n, duration=math.inf, cluster="c0", related_how=RelatedHow.FREE, related_to=None):
-    return Request(cluster, n, duration, RequestType.NON_PREEMPTIBLE, related_how, related_to)
-
-
-def p_(n, duration=math.inf, cluster="c0"):
-    return Request(cluster, n, duration, RequestType.PREEMPTIBLE)
+from repro.core import RelatedHow, Scheduler
+from repro.testing import app_with, np_, p_, pa
 
 
 class TestSchedulerBasics:
