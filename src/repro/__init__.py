@@ -63,17 +63,19 @@ __all__ = [
     "RandomSource",
     "derive_seed",
     "campaign",
+    "federation",
     "__version__",
 ]
 
 
 def __getattr__(name: str):
-    # The campaign subsystem pulls in the experiment drivers, so it is
-    # imported lazily to keep ``import repro`` light for library users.
+    # The campaign and federation subsystems pull in the experiment drivers
+    # and application behaviours, so they are imported lazily to keep
+    # ``import repro`` light for library users.
     # (import_module, not ``from . import``: the latter re-enters this
     # __getattr__ through importlib's fromlist handling and recurses.)
-    if name == "campaign":
+    if name in ("campaign", "federation"):
         import importlib
 
-        return importlib.import_module(".campaign", __name__)
+        return importlib.import_module(f".{name}", __name__)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,7 +1,55 @@
-"""``python -m repro`` -- the campaign orchestration CLI."""
-import sys
+"""``python -m repro`` -- centralised subcommand dispatch.
 
-from .campaign.cli import main
+Every command group registers itself here through one uniform interface: a
+``(name, add_commands, run_command)`` triple, where ``add_commands`` attaches
+the group's sub-parser to the top-level parser and ``run_command`` executes a
+parsed invocation.  ``python -m repro --help`` therefore always lists every
+group -- adding one is a single entry in :data:`COMMAND_GROUPS`, not an edit
+to an ad-hoc dispatch chain.
+"""
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .campaign.cli import add_campaign_commands, run_campaign_command
+from .federation.cli import add_federation_commands, run_federation_command
+from .policies.cli import add_policy_commands, run_policy_command
+from .traces.cli import add_trace_commands, run_trace_command
+
+__all__ = ["COMMAND_GROUPS", "build_parser", "main"]
+
+#: The registered command groups, in help-listing order.
+COMMAND_GROUPS = (
+    ("campaign", add_campaign_commands, run_campaign_command),
+    ("trace", add_trace_commands, run_trace_command),
+    ("policy", add_policy_commands, run_policy_command),
+    ("federation", add_federation_commands, run_federation_command),
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "CooRMv2 reproduction -- campaign orchestration, workload traces, "
+            "scheduling policies and multi-cluster federation."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    for _name, add_commands, _run_command in COMMAND_GROUPS:
+        add_commands(commands)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    for name, _add_commands, run_command in COMMAND_GROUPS:
+        if args.command == name:
+            return run_command(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
 
 if __name__ == "__main__":
     sys.exit(main())

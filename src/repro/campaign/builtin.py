@@ -30,6 +30,8 @@ from ..experiments import (
     fig11_two_psas,
 )
 from ..experiments.runner import run_scenario
+from ..federation.metrics import federation_breakdown
+from ..federation.spec import get_topology
 from ..models.amr_evolution import AmrEvolutionParameters, normalized_profile
 from ..sim.randomness import derive_seed
 from ..traces.source import resolve_converted_jobs
@@ -76,7 +78,8 @@ def _require_default_policy(spec: ScenarioSpec) -> None:
     its own strict-vs-filling comparison); silently running the default
     algorithm while the record claims another policy would fabricate a
     policy comparison out of identical runs.  Only the generic ``amr_psa``
-    runner honours ``ScenarioSpec.policy``.
+    runner honours ``ScenarioSpec.policy`` -- and, for the same reason,
+    ``ScenarioSpec.federation``.
     """
     if spec.policy is not None and spec.policy_name != "coorm":
         raise ValueError(
@@ -84,6 +87,13 @@ def _require_default_policy(spec: ScenarioSpec) -> None:
             f"paper experiment and ignores scheduling policies; it cannot run "
             f"under policy {spec.policy_name!r}. Sweep policies over 'amr_psa'-"
             f"based scenarios (e.g. trace-replay, baseline-dynamic) instead."
+        )
+    if spec.federation is not None:
+        raise ValueError(
+            f"scenario {spec.name!r} (runner {spec.runner!r}) reproduces a fixed "
+            f"paper experiment on a single cluster and ignores federation "
+            f"specs; federate 'amr_psa'-based scenarios (e.g. fed-dual-trace) "
+            f"instead."
         )
 
 
@@ -170,6 +180,7 @@ def run_amr_psa(spec: ScenarioSpec, seed: int) -> Dict[str, object]:
         kill_protocol_violators=spec.rms.kill_protocol_violators,
         violation_grace=spec.rms.violation_grace,
         policy=spec.policy,
+        federation=spec.federation,
     )
     metrics = result.metrics.to_dict()
     metrics["cluster_nodes"] = result.cluster_nodes
@@ -180,6 +191,10 @@ def run_amr_psa(spec: ScenarioSpec, seed: int) -> Dict[str, object]:
     if result.trace_apps:
         metrics["trace_jobs"] = len(result.trace_apps)
         metrics["trace_finished"] = sum(1 for a in result.trace_apps if a.finished())
+    if result.federation is not None:
+        metrics.update(
+            federation_breakdown(result.federation, result.metrics, amr=result.amr)
+        )
     return _finish(spec, metrics)
 
 
@@ -425,5 +440,60 @@ register_scenario(
                 },
             },
         ),
+    )
+)
+
+# --------------------------------------------------------------------- #
+# Federated scenarios: the registered built-in topologies (see
+# repro.federation.spec) applied to the generic runner, so `federation
+# describe <topology>` always matches what these scenarios execute.
+# --------------------------------------------------------------------- #
+register_scenario(
+    ScenarioSpec(
+        name="fed-single",
+        runner="amr_psa",
+        description="Paper scenario inside a 1-cluster federation; must be "
+        "byte-identical to baseline-dynamic (equivalence guard)",
+        federation=get_topology("single"),
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="fed-dual-trace",
+        runner="amr_psa",
+        description="200-job synthesized trace fanned into two 32-node "
+        "clusters by the meta-scheduler",
+        workload=WorkloadSpec(
+            include_amr=False,
+            trace={
+                "model": TRACE_SCENARIO_MODEL,
+                "job_count": 200,
+                "transforms": [{"kind": "clamp_nodes", "max_nodes": 32}],
+            },
+        ),
+        federation=get_topology("dual"),
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="fed-hetero3",
+        runner="amr_psa",
+        description="Adaptive trace mix over three heterogeneous clusters "
+        "(16/32/64 nodes) under least-loaded routing",
+        workload=WorkloadSpec(
+            include_amr=False,
+            trace={
+                "model": TRACE_SCENARIO_MODEL,
+                "job_count": 60,
+                "transforms": [{"kind": "clamp_nodes", "max_nodes": 64}],
+                "mix": {
+                    "rigid": 0.4,
+                    "moldable": 0.2,
+                    "malleable": 0.2,
+                    "evolving": 0.2,
+                },
+            },
+        ),
+        federation=get_topology("hetero3"),
     )
 )

@@ -1,23 +1,23 @@
-"""Command-line interface of ``python -m repro``.
+"""The ``python -m repro campaign`` command group.
 
 Commands::
 
     python -m repro campaign run --scenarios fig9,fig10 --seeds 4 --workers 4
     python -m repro campaign run --scenarios trace-replay --policies coorm,easy,sjf
+    python -m repro campaign run --scenarios fed-dual-trace --routings round-robin,least-loaded
     python -m repro campaign run --spec my_campaign.json
     python -m repro campaign list
     python -m repro campaign report <name> [--compare <other>]
     python -m repro campaign scenarios
-    python -m repro trace info|convert|synth ...
-    python -m repro policy list|describe|stages
 
 ``campaign run`` executes the scenario x seed grid in parallel and persists
 one JSON-lines record per run under the results directory (``results/`` by
 default, or ``--results-dir`` / the ``REPRO_RESULTS_DIR`` variable).  Runs
 are deterministic: the same spec writes byte-identical records regardless of
-the worker count.  The ``trace`` command group
-(:mod:`repro.traces.cli`) inspects, transforms and synthesizes the SWF
-workload traces that trace-driven scenarios replay.
+the worker count.  The top-level parser that dispatches this group next to
+``trace``, ``policy`` and ``federation`` lives in :mod:`repro.__main__`;
+``build_parser``/``main`` are kept here as aliases for callers that predate
+the centralised dispatch.
 """
 from __future__ import annotations
 
@@ -26,26 +26,20 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
+from ..federation.routing import make_routing
 from ..metrics.report import format_comparison, format_table
-from ..policies.cli import add_policy_commands, run_policy_command
 from ..policies.registry import resolve_policy
-from ..traces.cli import add_trace_commands, run_trace_command
 from . import builtin  # noqa: F401  (registers the built-in scenarios)
 from .registry import builtin_scenarios, resolve_scenarios
 from .runner import CampaignRunner
 from .spec import SCALE_NAMES, CampaignSpec
 from .store import ResultStore
 
-__all__ = ["build_parser", "main"]
+__all__ = ["add_campaign_commands", "run_campaign_command", "build_parser", "main"]
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="CooRMv2 reproduction -- experiment campaign orchestration.",
-    )
-    commands = parser.add_subparsers(dest="command", required=True)
-
+def add_campaign_commands(commands: argparse._SubParsersAction) -> None:
+    """Attach the ``campaign`` command group to the top-level CLI parser."""
     campaign = commands.add_parser("campaign", help="run and inspect campaigns")
     actions = campaign.add_subparsers(dest="action", required=True)
 
@@ -76,6 +70,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated scheduling policies; every scenario runs once "
         "per policy on the same workload (see 'policy list')",
     )
+    run.add_argument(
+        "--routings",
+        help="comma-separated federation routing policies; every (federated) "
+        "scenario runs once per routing on the same workload "
+        "(see 'federation list')",
+    )
     run.add_argument("--name", help="campaign name (defaults to the scenario list)")
     run.add_argument("--results-dir", default=None, help="result store root")
     run.add_argument(
@@ -94,11 +94,6 @@ def build_parser() -> argparse.ArgumentParser:
 
     actions.add_parser("scenarios", help="list built-in scenarios")
 
-    add_trace_commands(commands)
-    add_policy_commands(commands)
-
-    return parser
-
 
 def _default_name(scenario_names: Sequence[str], seeds: int) -> str:
     return "-".join(scenario_names) + f"_x{seeds}"
@@ -108,49 +103,62 @@ def _cmd_run(args: argparse.Namespace) -> int:
     policies = tuple(
         p.strip() for p in (args.policies or "").split(",") if p.strip()
     )
+    routings = tuple(
+        r.strip() for r in (args.routings or "").split(",") if r.strip()
+    )
     try:
         for p in policies:
             resolve_policy(p)
+        for r in routings:
+            make_routing(r)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
-    if args.spec:
-        spec = CampaignSpec.load(args.spec)
-        overrides = {}
-        if args.scale is not None:
-            overrides["scenarios"] = [
-                s.with_scale(args.scale).to_dict() for s in spec.scenarios
-            ]
-        # Explicit flags beat the spec file; omitted flags keep its values.
-        if args.seeds is not None:
-            overrides["seeds"] = args.seeds
-        if args.root_seed is not None:
-            overrides["root_seed"] = args.root_seed
-        if policies:
-            overrides["policies"] = list(policies)
-        if overrides:
-            spec = CampaignSpec.from_dict({**spec.to_dict(), **overrides})
-    else:
-        if not args.scenarios:
-            print("error: provide --scenarios or --spec", file=sys.stderr)
-            return 2
-        names = [n.strip() for n in args.scenarios.split(",") if n.strip()]
-        try:
-            scenarios = resolve_scenarios(names, scale=args.scale)
-        except KeyError as exc:
-            print(f"error: {exc.args[0]}", file=sys.stderr)
-            return 2
-        seeds = 1 if args.seeds is None else args.seeds
-        spec = CampaignSpec(
-            name=args.name or _default_name(names, seeds),
-            scenarios=tuple(scenarios),
-            seeds=seeds,
-            root_seed=0 if args.root_seed is None else args.root_seed,
-            workers=args.workers or 1,
-            policies=policies,
-        )
-    if args.name and spec.name != args.name:
-        spec = CampaignSpec.from_dict({**spec.to_dict(), "name": args.name})
+    try:
+        if args.spec:
+            spec = CampaignSpec.load(args.spec)
+            overrides = {}
+            if args.scale is not None:
+                overrides["scenarios"] = [
+                    s.with_scale(args.scale).to_dict() for s in spec.scenarios
+                ]
+            # Explicit flags beat the spec file; omitted flags keep its values.
+            if args.seeds is not None:
+                overrides["seeds"] = args.seeds
+            if args.root_seed is not None:
+                overrides["root_seed"] = args.root_seed
+            if policies:
+                overrides["policies"] = list(policies)
+            if routings:
+                overrides["routings"] = list(routings)
+            if overrides:
+                spec = CampaignSpec.from_dict({**spec.to_dict(), **overrides})
+        else:
+            if not args.scenarios:
+                print("error: provide --scenarios or --spec", file=sys.stderr)
+                return 2
+            names = [n.strip() for n in args.scenarios.split(",") if n.strip()]
+            try:
+                scenarios = resolve_scenarios(names, scale=args.scale)
+            except KeyError as exc:
+                print(f"error: {exc.args[0]}", file=sys.stderr)
+                return 2
+            seeds = 1 if args.seeds is None else args.seeds
+            spec = CampaignSpec(
+                name=args.name or _default_name(names, seeds),
+                scenarios=tuple(scenarios),
+                seeds=seeds,
+                root_seed=0 if args.root_seed is None else args.root_seed,
+                workers=args.workers or 1,
+                policies=policies,
+                routings=routings,
+            )
+        if args.name and spec.name != args.name:
+            spec = CampaignSpec.from_dict({**spec.to_dict(), "name": args.name})
+    except ValueError as exc:
+        # e.g. a routing matrix over scenarios that have no federation spec.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     if spec.policies:
         unaware = sorted(
@@ -234,6 +242,26 @@ def _describe_provenance(provenance) -> str:
     return description
 
 
+def _federation_breakdown_rows(summary: dict) -> List[tuple]:
+    """Per-cluster table rows from the flat ``fed_*[name]`` metric keys."""
+    clusters = []
+    for key in summary:
+        if key.startswith("fed_util_pct[") and key.endswith("]"):
+            clusters.append(key[len("fed_util_pct["):-1])
+    rows = []
+    for name in sorted(clusters):
+        rows.append(
+            (
+                name,
+                summary.get(f"fed_nodes[{name}]", ""),
+                summary.get(f"fed_routed[{name}]", ""),
+                summary.get(f"fed_alloc_node_seconds[{name}]", ""),
+                summary.get(f"fed_util_pct[{name}]", ""),
+            )
+        )
+    return rows
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     store = ResultStore(args.results_dir)
     try:
@@ -249,6 +277,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     matrix = store.policy_matrix(args.name, records)
+    routing_matrix = store.routing_matrix(args.name, records)
     print(f"campaign {args.name!r}: per-scenario medians over replicates")
     for scenario in summary:
         print()
@@ -257,22 +286,39 @@ def _cmd_report(args: argparse.Namespace) -> int:
             print(f"workload: {_describe_provenance(provenance[scenario])}")
         rows = list(summary[scenario].items())
         print(format_table(["metric", "median"], rows))
-    # Policy-matrix campaigns additionally get a side-by-side comparison of
-    # every policy on the same base scenario (identical workload per seed).
+        breakdown = _federation_breakdown_rows(summary[scenario])
+        if breakdown:
+            print()
+            print(f"-- {scenario}: per-cluster breakdown --")
+            print(
+                format_table(
+                    ["cluster", "nodes", "routed", "alloc node-s", "util %"],
+                    breakdown,
+                )
+            )
+    # Matrix campaigns additionally get side-by-side comparisons of every
+    # policy (and, for federated campaigns, every routing) on the same base
+    # scenario -- identical workload per seed in both matrices.
+    _print_matrix_comparisons(matrix, "policy comparison")
+    _print_matrix_comparisons(routing_matrix, "routing comparison")
+    return 0
+
+
+def _print_matrix_comparisons(matrix: dict, title: str) -> None:
+    """One comparison table per base scenario with >= 2 matrix variants."""
     for base in sorted(matrix):
-        policies = matrix[base]
-        if len(policies) < 2:
+        variants = matrix[base]
+        if len(variants) < 2:
             continue
-        policy_names = sorted(policies)
-        metrics = sorted(set().union(*(policies[p] for p in policy_names)))
+        names = sorted(variants)
+        metrics = sorted(set().union(*(variants[n] for n in names)))
         rows = [
-            tuple([metric] + [policies[p].get(metric, "") for p in policy_names])
+            tuple([metric] + [variants[n].get(metric, "") for n in names])
             for metric in metrics
         ]
         print()
-        print(f"== {base}: policy comparison ==")
-        print(format_table(["metric"] + policy_names, rows))
-    return 0
+        print(f"== {base}: {title} ==")
+        print(format_table(["metric"] + names, rows))
 
 
 def _cmd_scenarios(_args: argparse.Namespace) -> int:
@@ -284,12 +330,7 @@ def _cmd_scenarios(_args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    if args.command == "trace":
-        return run_trace_command(args)
-    if args.command == "policy":
-        return run_policy_command(args)
+def run_campaign_command(args: argparse.Namespace) -> int:
     handlers = {
         "run": _cmd_run,
         "list": _cmd_list,
@@ -297,3 +338,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "scenarios": _cmd_scenarios,
     }
     return handlers[args.action](args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full ``python -m repro`` parser (alias of the central one)."""
+    from ..__main__ import build_parser as _build_parser
+
+    return _build_parser()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Back-compat entry point delegating to the central dispatcher."""
+    from ..__main__ import main as _main
+
+    return _main(argv)

@@ -74,6 +74,10 @@ def _execute_task(task: RunTask) -> Dict:
         "scenario": task.scenario.name,
         "base_scenario": task.base_scenario or task.scenario.name,
         "policy": task.scenario.policy_name,
+        # Federation columns: empty strings on the single-cluster path, so
+        # federated and classic records stay byte-stable side by side.
+        "routing": task.scenario.routing_name,
+        "topology": task.scenario.topology_label,
         "replicate": task.replicate,
         "seed": task.seed,
         "runner": task.scenario.runner,

@@ -16,9 +16,11 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, field, fields, replace
 from pathlib import Path
-from typing import Dict, Mapping, Optional, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from ..experiments.runner import EvaluationScale
+from ..federation.routing import make_routing
+from ..federation.spec import FederationSpec
 from ..policies.registry import policy_label, resolve_policy
 from ..traces.source import TraceSource
 
@@ -202,6 +204,11 @@ class ScenarioSpec:
     #: (``{"ordering": ..., "backfill": ..., "sharing": ...}``).  ``None``
     #: keeps the paper's default composition (Algorithm 4).
     policy: Optional[Union[str, Mapping]] = None
+    #: Multi-cluster federation topology + routing policy (see
+    #: :class:`~repro.federation.spec.FederationSpec`).  ``None`` runs the
+    #: classic single-scheduler path; dictionaries are promoted on
+    #: construction so specs stay JSON-writable.
+    federation: Optional[FederationSpec] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -221,6 +228,10 @@ class ScenarioSpec:
                     f"got {self.policy!r}"
                 )
             resolve_policy(self.policy)  # fail fast on unknown names/stages
+        if self.federation is not None and not isinstance(self.federation, FederationSpec):
+            object.__setattr__(
+                self, "federation", FederationSpec.from_dict(self.federation)
+            )
 
     def with_scale(self, scale: str) -> "ScenarioSpec":
         return replace(self, scale=scale)
@@ -230,10 +241,34 @@ class ScenarioSpec:
         a policy matrix never produces duplicate scenario names."""
         return replace(self, name=f"{self.name}@{policy_label(policy)}", policy=policy)
 
+    def with_routing(self, routing: str) -> "ScenarioSpec":
+        """This (federated) scenario under another routing policy,
+        suffix-renamed so a routing matrix never duplicates names."""
+        if self.federation is None:
+            raise ValueError(
+                f"scenario {self.name!r} has no federation; routing matrices "
+                f"only apply to federated scenarios"
+            )
+        return replace(
+            self,
+            name=f"{self.name}+{routing}",
+            federation=self.federation.with_routing(routing),
+        )
+
     @property
     def policy_name(self) -> str:
         """Display name of the scenario's policy (default when unset)."""
         return policy_label(self.policy)
+
+    @property
+    def routing_name(self) -> str:
+        """The federation's routing policy name ('' when not federated)."""
+        return "" if self.federation is None else self.federation.routing
+
+    @property
+    def topology_label(self) -> str:
+        """Compact federation topology label ('' when not federated)."""
+        return "" if self.federation is None else self.federation.label()
 
     @property
     def trace(self) -> Optional[TraceSource]:
@@ -252,6 +287,7 @@ class ScenarioSpec:
             "params": _jsonify(dict(self.params)),
             "metrics": list(self.metrics),
             "policy": self.policy,
+            "federation": None if self.federation is None else self.federation.to_dict(),
         }
 
     @classmethod
@@ -265,6 +301,8 @@ class ScenarioSpec:
             kwargs["rms"] = RmsSpec.from_dict(kwargs["rms"])
         if "metrics" in kwargs:
             kwargs["metrics"] = tuple(kwargs["metrics"])
+        if kwargs.get("federation") is not None:
+            kwargs["federation"] = FederationSpec.from_dict(kwargs["federation"])
         return cls(**kwargs)
 
 
@@ -281,6 +319,12 @@ class CampaignSpec:
     policy (named ``<scenario>@<policy>``), and the run seed is still derived
     from the *base* scenario name -- so every policy replays the exact same
     workload and the per-policy metrics are directly comparable.
+
+    A non-empty ``routings`` tuple does the same for federated scenarios:
+    every (policy-expanded) scenario additionally runs once per listed
+    routing policy (named ``<scenario>+<routing>``), again with the seed
+    derived from the base name, so every cell of the routing x topology
+    matrix fans in the exact same workload.
     """
 
     name: str
@@ -292,6 +336,10 @@ class CampaignSpec:
     #: Scheduling policies to sweep every scenario over (empty = run each
     #: scenario under its own ``policy`` field, the default being Algorithm 4).
     policies: Tuple[str, ...] = ()
+    #: Federation routing policies to sweep every scenario over (empty =
+    #: run each scenario under its federation's own routing).  Requires
+    #: every scenario in the campaign to carry a federation spec.
+    routings: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -311,26 +359,52 @@ class CampaignSpec:
             raise ValueError(f"duplicate policies in campaign: {list(self.policies)}")
         for p in self.policies:
             resolve_policy(p)  # fail fast on unknown policy names
+        object.__setattr__(self, "routings", tuple(str(r) for r in self.routings))
+        if len(set(self.routings)) != len(self.routings):
+            raise ValueError(f"duplicate routings in campaign: {list(self.routings)}")
+        for r in self.routings:
+            make_routing(r)  # fail fast on unknown routing names
+        if self.routings:
+            unfederated = [s.name for s in self.scenarios if s.federation is None]
+            if unfederated:
+                raise ValueError(
+                    f"routing matrix requires federated scenarios, but "
+                    f"{unfederated} have no federation spec"
+                )
 
     @property
     def run_count(self) -> int:
-        return len(self.scenarios) * max(1, len(self.policies)) * self.seeds
+        return (
+            len(self.scenarios)
+            * max(1, len(self.policies))
+            * max(1, len(self.routings))
+            * self.seeds
+        )
 
     def expanded_scenarios(self) -> Tuple[Tuple[ScenarioSpec, str], ...]:
-        """The policy x scenario grid as ``(variant, base_name)`` pairs.
+        """The policy x routing x scenario grid as ``(variant, base_name)``.
 
-        Without a policy matrix every scenario maps to itself; with one,
-        each scenario yields one suffix-renamed variant per policy.  Seeds
-        must be derived from the *base* name so that all variants of one
-        scenario replay identical workloads.
+        Without matrices every scenario maps to itself; a policy matrix
+        yields one ``@<policy>`` variant per policy, a routing matrix one
+        ``+<routing>`` variant per routing, and both together the full
+        cross product.  Seeds must be derived from the *base* name so that
+        all variants of one scenario replay identical workloads.
         """
-        if not self.policies:
-            return tuple((s, s.name) for s in self.scenarios)
-        return tuple(
-            (scenario.with_policy(policy), scenario.name)
-            for scenario in self.scenarios
-            for policy in self.policies
-        )
+        variants: List[Tuple[ScenarioSpec, str]] = []
+        for scenario in self.scenarios:
+            policy_variants = (
+                [scenario.with_policy(p) for p in self.policies]
+                if self.policies
+                else [scenario]
+            )
+            for policy_variant in policy_variants:
+                routing_variants = (
+                    [policy_variant.with_routing(r) for r in self.routings]
+                    if self.routings
+                    else [policy_variant]
+                )
+                variants.extend((v, scenario.name) for v in routing_variants)
+        return tuple(variants)
 
     def to_dict(self) -> Dict:
         return {
@@ -341,6 +415,7 @@ class CampaignSpec:
             "workers": self.workers,
             "description": self.description,
             "policies": list(self.policies),
+            "routings": list(self.routings),
         }
 
     @classmethod

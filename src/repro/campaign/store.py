@@ -196,6 +196,35 @@ class ResultStore:
                 provenance[scenario] = dict(record["provenance"])
         return provenance
 
+    def _matrix(
+        self,
+        name: str,
+        records: Optional[Sequence[Mapping]],
+        field: str,
+        default: Optional[str],
+    ) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """Medians grouped by (base scenario, record *field*).
+
+        *default* substitutes a missing/empty field value; ``None`` skips
+        such records instead (no value to compare by).
+        """
+        grouped: Dict[str, Dict[str, List[Mapping]]] = {}
+        for record in records if records is not None else self.load_records(name):
+            value = str(record.get(field) or "") or default
+            if value is None:
+                continue
+            base = str(record.get("base_scenario") or record.get("scenario", ""))
+            grouped.setdefault(base, {}).setdefault(value, []).append(
+                record.get("metrics", {})
+            )
+        return {
+            base: {
+                value: median_summary(metrics)
+                for value, metrics in by_value.items()
+            }
+            for base, by_value in grouped.items()
+        }
+
     def policy_matrix(
         self, name: str, records: Optional[Sequence[Mapping]] = None
     ) -> Dict[str, Dict[str, Dict[str, float]]]:
@@ -206,20 +235,21 @@ class ResultStore:
         can be read as a side-by-side comparison.  Records written before
         the policy field existed count as the default policy.
         """
-        grouped: Dict[str, Dict[str, List[Mapping]]] = {}
-        for record in records if records is not None else self.load_records(name):
-            base = str(record.get("base_scenario") or record.get("scenario", ""))
-            policy = str(record.get("policy") or "coorm")
-            grouped.setdefault(base, {}).setdefault(policy, []).append(
-                record.get("metrics", {})
-            )
-        return {
-            base: {
-                policy: median_summary(metrics)
-                for policy, metrics in policies.items()
-            }
-            for base, policies in grouped.items()
-        }
+        return self._matrix(name, records, field="policy", default="coorm")
+
+    def routing_matrix(
+        self, name: str, records: Optional[Sequence[Mapping]] = None
+    ) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """Per-routing medians: ``{base_scenario: {routing: {metric: median}}}``.
+
+        The federation counterpart of :meth:`policy_matrix`: groups the
+        records of one campaign by their pre-expansion scenario name and
+        the routing policy that placed their applications, so a routing x
+        topology campaign reads as a side-by-side comparison.  Records of
+        non-federated runs (no ``routing`` field, or an empty one) are
+        skipped -- there is no routing to compare.
+        """
+        return self._matrix(name, records, field="routing", default=None)
 
     def compare(
         self, name_a: str, name_b: str

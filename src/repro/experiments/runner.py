@@ -20,6 +20,9 @@ from ..apps.psa import ParameterSweepApplication
 from ..apps.rigid import RigidApplication
 from ..cluster.platform import Platform
 from ..core.rms import CooRMv2
+from ..federation.federation import Federation, locality_group
+from ..federation.metrics import collect_federated
+from ..federation.spec import FederationSpec
 from ..metrics.collector import SimulationMetrics
 from ..models.amr_evolution import AmrEvolutionParameters, WorkingSetEvolution
 from ..models.speedup import PAPER_SPEEDUP_MODEL, SpeedupModel, TIB_IN_MIB
@@ -101,6 +104,9 @@ class ScenarioResult:
     rigid_apps: List[RigidApplication] = field(default_factory=list)
     #: Applications replayed from a converted workload trace (any kind).
     trace_apps: List = field(default_factory=list)
+    #: The federation that ran the scenario (None on the single-cluster
+    #: path; when set, ``rms`` is the first member's RMS).
+    federation: Optional[Federation] = None
 
 
 def build_evolution(
@@ -159,6 +165,7 @@ def run_scenario(
     violation_grace: float = 30.0,
     horizon: Optional[float] = None,
     policy=None,
+    federation: Optional[FederationSpec] = None,
 ) -> ScenarioResult:
     """Run one AMR + PSA(s) scenario and collect its metrics.
 
@@ -180,6 +187,14 @@ def run_scenario(
     *policy* selects the scheduling policy (a registered name, stage mapping
     or :class:`~repro.policies.SchedulingPolicy`); when given it supersedes
     the *strict_equipartition* shorthand.
+
+    *federation* runs the scenario on a multi-cluster federation instead of
+    a single scheduler: one :class:`~repro.core.rms.CooRMv2` per member
+    cluster (derived -- ``nodes == 0`` -- members get the single-cluster
+    size), all driven by the same event engine, with every application
+    placed by the federation's routing policy at its submission time.  A
+    1-cluster federation under the ``any`` routing is byte-identical to the
+    single-scheduler path.
     """
     if overcommit <= 0:
         raise ValueError("overcommit must be positive")
@@ -198,16 +213,34 @@ def run_scenario(
         raise ValueError("cluster_nodes must be positive")
 
     simulator = Simulator()
-    platform = Platform.single_cluster(cluster_nodes)
-    rms = CooRMv2(
-        platform,
-        simulator,
-        rescheduling_interval=scale.rescheduling_interval,
-        strict_equipartition=strict_equipartition,
-        kill_protocol_violators=kill_protocol_violators,
-        violation_grace=violation_grace,
-        policy=policy,
-    )
+    fed: Optional[Federation] = None
+    if federation is not None:
+        # Derived (nodes == 0) members get the single-cluster size, so the
+        # 1-cluster federation of the equivalence guarantee sizes its only
+        # member exactly like the direct path sizes its platform.
+        fed = Federation(
+            federation.resolved(cluster_nodes),
+            simulator,
+            rescheduling_interval=scale.rescheduling_interval,
+            default_policy=policy,
+            strict_equipartition=strict_equipartition,
+            kill_protocol_violators=kill_protocol_violators,
+            violation_grace=violation_grace,
+            seed=seed,
+        )
+        rms = fed.members[0].rms
+        cluster_nodes = fed.total_nodes()
+    else:
+        platform = Platform.single_cluster(cluster_nodes)
+        rms = CooRMv2(
+            platform,
+            simulator,
+            rescheduling_interval=scale.rescheduling_interval,
+            strict_equipartition=strict_equipartition,
+            kill_protocol_violators=kill_protocol_violators,
+            violation_grace=violation_grace,
+            policy=policy,
+        )
 
     amr: Optional[AmrApplication] = None
     if include_amr:
@@ -226,23 +259,61 @@ def run_scenario(
     ]
     if amr is not None:
         amr.on_finished = lambda _app: [psa.shutdown() for psa in psas]
-        amr.connect(rms)
+        if fed is None:
+            amr.connect(rms)
+        else:
+            fed.submit(amr, node_count=preallocation)
     for psa in psas:
-        psa.connect(rms)
+        if fed is None:
+            psa.connect(rms)
+        else:
+            fed.submit(psa)
 
     rigid_apps: List[RigidApplication] = []
-    for job in rigid_jobs or ():
+    trace_apps: List = []
+
+    def submit_rigid(job: RigidJobSpec) -> None:
+        """Route one rigid job now and connect it to its member.
+
+        Rigid jobs keep their exact recorded size -- like the direct path,
+        a job too large for every cluster fails loudly rather than being
+        silently reshaped (trace *conversions* clamp; rigid replays don't).
+        """
         app = RigidApplication(
             job.job_id, node_count=job.node_count, duration=job.duration
         )
-        simulator.schedule_at(job.submit_time, app.connect, rms)
+        fed.submit(app, node_count=job.node_count, group=locality_group(job.job_id))
         rigid_apps.append(app)
 
-    trace_apps: List = []
-    for converted in adaptive_jobs or ():
-        app = build_application(converted, cluster_nodes)
-        simulator.schedule_at(converted.submit_time, app.connect, rms)
+    def submit_converted(converted: ConvertedJob) -> None:
+        """Route one trace job now and build it clamped to its member."""
+        member = fed.meta.place(
+            converted.job_id,
+            node_count=converted.node_count,
+            group=locality_group(converted.job_id),
+            now=simulator.now,
+        )
+        app = build_application(converted, member.capacity)
+        fed.attach(member, app, node_count=converted.node_count)
         trace_apps.append(app)
+
+    for job in rigid_jobs or ():
+        if fed is None:
+            app = RigidApplication(
+                job.job_id, node_count=job.node_count, duration=job.duration
+            )
+            simulator.schedule_at(job.submit_time, app.connect, rms)
+            rigid_apps.append(app)
+        else:
+            simulator.schedule_at(job.submit_time, submit_rigid, job)
+
+    for converted in adaptive_jobs or ():
+        if fed is None:
+            app = build_application(converted, cluster_nodes)
+            simulator.schedule_at(converted.submit_time, app.connect, rms)
+            trace_apps.append(app)
+        else:
+            simulator.schedule_at(converted.submit_time, submit_converted, converted)
 
     if amr is None and psas:
         # Without an AMR nothing shuts the (otherwise endless) PSAs down;
@@ -256,7 +327,10 @@ def run_scenario(
 
     simulator.run()
 
-    metrics = SimulationMetrics.collect(rms, amr=amr, psas=psas, horizon=horizon)
+    if fed is not None:
+        metrics = collect_federated(fed, amr=amr, psas=psas, horizon=horizon)
+    else:
+        metrics = SimulationMetrics.collect(rms, amr=amr, psas=psas, horizon=horizon)
     return ScenarioResult(
         metrics=metrics,
         amr=amr,
@@ -266,4 +340,5 @@ def run_scenario(
         cluster_nodes=cluster_nodes,
         rigid_apps=rigid_apps,
         trace_apps=trace_apps,
+        federation=fed,
     )

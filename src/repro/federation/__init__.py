@@ -1,0 +1,90 @@
+"""Federation: multi-cluster simulation behind a routing meta-scheduler.
+
+This subsystem multiplies every existing scenario across heterogeneous
+multi-cluster topologies without touching the paper's per-cluster
+semantics:
+
+* :mod:`repro.federation.spec` -- :class:`ClusterSpec` /
+  :class:`FederationSpec` dataclasses that round-trip through JSON, plus
+  named built-in topologies;
+* :mod:`repro.federation.routing` -- the pluggable request-routing registry
+  (``any``, ``round-robin``, ``least-loaded``, ``best-fit``, ``random``,
+  ``affinity``), mirroring the stage-registry design of
+  :mod:`repro.policies`;
+* :mod:`repro.federation.federation` -- the :class:`Federation` (one
+  :class:`~repro.core.rms.CooRMv2` per member cluster, one shared event
+  engine) and the :class:`MetaScheduler` that places applications;
+* :mod:`repro.federation.metrics` -- aggregated metrics and per-cluster
+  utilisation breakdowns;
+* :mod:`repro.federation.cli` -- the ``python -m repro federation``
+  command group.
+
+The load-bearing correctness contract: a 1-cluster federation under the
+``any`` routing and the ``coorm`` policy is **byte-identical** to the
+direct single-:class:`~repro.core.scheduler.Scheduler` path (pinned by the
+golden regression suite).
+
+Quick start::
+
+    from repro.federation import ClusterSpec, Federation, FederationSpec
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    fed = Federation(
+        FederationSpec(
+            clusters=(ClusterSpec("east", 32), ClusterSpec("west", 64)),
+            routing="least-loaded",
+        ),
+        sim,
+    )
+    fed.submit(my_application, node_count=16)  # routed, then connected
+    sim.run()
+"""
+from .federation import (
+    Federation,
+    FederationMember,
+    MetaScheduler,
+    RoutingDecision,
+    locality_group,
+)
+from .metrics import collect_federated, federation_breakdown
+from .routing import (
+    DEFAULT_ROUTING,
+    ClusterState,
+    RoutingPolicy,
+    RoutingRequest,
+    describe_routing,
+    make_routing,
+    register_routing,
+    routing_names,
+)
+from .spec import (
+    ClusterSpec,
+    FederationSpec,
+    get_topology,
+    register_topology,
+    topology_names,
+)
+
+__all__ = [
+    "DEFAULT_ROUTING",
+    "ClusterSpec",
+    "ClusterState",
+    "Federation",
+    "FederationMember",
+    "FederationSpec",
+    "MetaScheduler",
+    "RoutingDecision",
+    "RoutingPolicy",
+    "RoutingRequest",
+    "collect_federated",
+    "describe_routing",
+    "federation_breakdown",
+    "get_topology",
+    "locality_group",
+    "make_routing",
+    "register_routing",
+    "register_topology",
+    "routing_names",
+    "topology_names",
+]

@@ -1,0 +1,199 @@
+"""Declarative multi-cluster federation specifications.
+
+A :class:`FederationSpec` describes a federation *topology* -- the named
+member clusters with their capacities and per-cluster scheduling policies --
+plus the request-routing policy of the meta-scheduler.  Like every other
+spec in the campaign layer it is a plain frozen dataclass that round-trips
+losslessly through dictionaries and JSON, so federated scenarios can be
+written by hand, versioned next to their results, and replayed later.
+
+The spec describes *what* to federate, never *how*: execution lives in
+:mod:`repro.federation.federation`.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from ..policies.registry import policy_label
+from .routing import DEFAULT_ROUTING, make_routing
+
+__all__ = [
+    "ClusterSpec",
+    "FederationSpec",
+    "register_topology",
+    "topology_names",
+    "get_topology",
+]
+
+
+def _filter_kwargs(cls, data: Mapping) -> Dict:
+    """Keep only keys that are fields of *cls*, rejecting unknown ones."""
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(
+            f"{cls.__name__} does not understand field(s): {sorted(unknown)}"
+        )
+    return dict(data)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """One member cluster of a federation.
+
+    ``nodes == 0`` means "derive the size from the scenario's evolving
+    application" exactly like ``PlatformSpec.cluster_nodes == 0`` does for
+    the single-cluster path.  ``policy`` optionally gives this member its
+    own scheduling policy (a registered name or stage mapping); ``None``
+    inherits the scenario's policy.
+    """
+
+    name: str
+    nodes: int = 0
+    policy: Optional[Union[str, Mapping]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("cluster name must not be empty")
+        if self.nodes < 0:
+            raise ValueError("cluster nodes must be >= 0 (0 = derive)")
+        if isinstance(self.policy, Mapping):
+            object.__setattr__(self, "policy", dict(self.policy))
+        if self.policy is not None:
+            policy_label(self.policy)  # fail fast on unknown policies
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "nodes": self.nodes,
+            "policy": self.policy if not isinstance(self.policy, Mapping)
+            else dict(self.policy),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ClusterSpec":
+        return cls(**_filter_kwargs(cls, data))
+
+
+@dataclass(frozen=True)
+class FederationSpec:
+    """A federation topology plus the meta-scheduler's routing policy."""
+
+    clusters: Tuple[ClusterSpec, ...] = field(default_factory=tuple)
+    routing: str = DEFAULT_ROUTING
+
+    def __post_init__(self) -> None:
+        promoted = tuple(
+            c if isinstance(c, ClusterSpec) else ClusterSpec.from_dict(c)
+            for c in self.clusters
+        )
+        object.__setattr__(self, "clusters", promoted)
+        if not self.clusters:
+            raise ValueError("a federation needs at least one cluster")
+        names = [c.name for c in self.clusters]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate cluster names in federation: {names}")
+        make_routing(self.routing)  # fail fast on unknown routing policies
+
+    # ------------------------------------------------------------------ #
+    @property
+    def cluster_names(self) -> Tuple[str, ...]:
+        return tuple(c.name for c in self.clusters)
+
+    def total_nodes(self, default_nodes: int = 0) -> int:
+        """Total capacity with derived (``nodes == 0``) members resolved."""
+        return sum(c.nodes or default_nodes for c in self.clusters)
+
+    def resolved(self, default_nodes: int) -> "FederationSpec":
+        """This spec with every derived member size made concrete."""
+        if default_nodes <= 0:
+            raise ValueError("default_nodes must be positive")
+        if all(c.nodes > 0 for c in self.clusters):
+            return self
+        return replace(
+            self,
+            clusters=tuple(
+                c if c.nodes > 0 else replace(c, nodes=default_nodes)
+                for c in self.clusters
+            ),
+        )
+
+    def with_routing(self, routing: str) -> "FederationSpec":
+        make_routing(routing)  # validate before baking into a spec
+        return replace(self, routing=routing)
+
+    def label(self) -> str:
+        """Compact topology label for result records and reports."""
+        inner = "+".join(
+            f"{c.name}:{c.nodes if c.nodes else '*'}" for c in self.clusters
+        )
+        return f"{len(self.clusters)}x[{inner}]"
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict:
+        return {
+            "clusters": [c.to_dict() for c in self.clusters],
+            "routing": self.routing,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FederationSpec":
+        kwargs = _filter_kwargs(cls, data)
+        if "clusters" in kwargs:
+            kwargs["clusters"] = tuple(kwargs["clusters"])
+        return cls(**kwargs)
+
+
+# --------------------------------------------------------------------- #
+# Built-in topologies
+# --------------------------------------------------------------------- #
+_TOPOLOGIES: Dict[str, FederationSpec] = {}
+
+
+def register_topology(name: str, spec: FederationSpec) -> FederationSpec:
+    """Register a named federation topology (for the CLI and examples)."""
+    if name in _TOPOLOGIES:
+        raise ValueError(f"federation topology {name!r} is already registered")
+    _TOPOLOGIES[name] = spec
+    return spec
+
+
+def topology_names() -> List[str]:
+    return sorted(_TOPOLOGIES)
+
+
+def get_topology(name: str) -> FederationSpec:
+    try:
+        return _TOPOLOGIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown federation topology {name!r}; known: {topology_names()}"
+        ) from None
+
+
+register_topology(
+    "single",
+    FederationSpec(clusters=(ClusterSpec(name="cluster0"),)),
+)
+register_topology(
+    "dual",
+    FederationSpec(
+        clusters=(
+            ClusterSpec(name="east", nodes=32),
+            ClusterSpec(name="west", nodes=32),
+        ),
+        routing="round-robin",
+    ),
+)
+register_topology(
+    "hetero3",
+    FederationSpec(
+        clusters=(
+            ClusterSpec(name="small", nodes=16),
+            ClusterSpec(name="medium", nodes=32),
+            ClusterSpec(name="large", nodes=64),
+        ),
+        routing="least-loaded",
+    ),
+)

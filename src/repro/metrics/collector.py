@@ -25,7 +25,30 @@ from ..apps.psa import ParameterSweepApplication
 from ..core.rms import CooRMv2
 from ..core.types import RequestType
 
-__all__ = ["SimulationMetrics", "summarize_runs", "median_summary"]
+__all__ = [
+    "SimulationMetrics",
+    "clip_node_seconds",
+    "measurement_window_start",
+    "summarize_runs",
+    "median_summary",
+]
+
+
+def measurement_window_start(amr: Optional[AmrApplication]) -> float:
+    """Start of the measurement window: the AMR's first allocation, else 0.
+
+    One definition shared by :meth:`SimulationMetrics.collect_multi` and the
+    per-cluster federation breakdown, so both always measure the same window.
+    """
+    if amr is not None and not math.isnan(amr.computation_started_at):
+        return amr.computation_started_at
+    return 0.0
+
+
+def clip_node_seconds(record, window_start: float, window_end: float) -> float:
+    """Node-seconds of one allocation record inside the window."""
+    overlap = min(record.end, window_end) - max(record.start, window_start)
+    return record.node_count * max(0.0, overlap)
 
 
 @dataclass
@@ -98,24 +121,43 @@ class SimulationMetrics:
         allocation to its completion), which is how the paper normalises the
         "percent of used resources".
         """
-        window_start = 0.0
-        if amr is not None and not math.isnan(amr.computation_started_at):
-            window_start = amr.computation_started_at
+        return cls.collect_multi((rms,), amr=amr, psas=psas, horizon=horizon)
+
+    @classmethod
+    def collect_multi(
+        cls,
+        rmss: Sequence[CooRMv2],
+        amr: Optional[AmrApplication] = None,
+        psas: Sequence[ParameterSweepApplication] = (),
+        horizon: Optional[float] = None,
+    ) -> "SimulationMetrics":
+        """Metrics aggregated over several RMSs sharing one event engine.
+
+        This is :meth:`collect` generalised to a federation: the capacity is
+        the combined node count of every member, allocation records of all
+        members count towards the totals, and the horizon comes from the
+        shared simulation clock (every member reports the same ``now``).
+        With a single RMS the arithmetic reduces exactly to :meth:`collect`
+        -- same terms, same order -- which is what the single-cluster
+        federation equivalence guarantee rests on.
+        """
+        if not rmss:
+            raise ValueError("collect_multi needs at least one RMS")
+        window_start = measurement_window_start(amr)
         if horizon is None:
             if amr is not None and amr.finished():
                 horizon = amr.computation_time()
             else:
-                horizon = rms.now - window_start
+                horizon = rmss[0].now - window_start
         window_end = window_start + horizon
-        capacity = rms.total_nodes() * horizon
+        capacity = sum(rms.total_nodes() for rms in rmss) * horizon
 
         def clipped(record) -> float:
-            """Node-seconds of one allocation record inside the window."""
-            overlap = min(record.end, window_end) - max(record.start, window_start)
-            return record.node_count * max(0.0, overlap)
+            return clip_node_seconds(record, window_start, window_end)
 
         total_allocated = sum(
             clipped(rec)
+            for rms in rmss
             for rec in rms.accountant.records
             if rec.rtype is not RequestType.PREALLOCATION
         )
@@ -125,6 +167,7 @@ class SimulationMetrics:
         if amr is not None:
             amr_used = sum(
                 clipped(rec)
+                for rms in rmss
                 for rec in rms.accountant.records
                 if rec.app_id == amr.name and rec.rtype is RequestType.NON_PREEMPTIBLE
             )

@@ -258,6 +258,8 @@ class TestStoredRecordShape:
             "scenario",
             "base_scenario",
             "policy",
+            "routing",
+            "topology",
             "replicate",
             "seed",
             "runner",
@@ -267,6 +269,8 @@ class TestStoredRecordShape:
         assert record["scenario"] == "baseline-dynamic"
         assert record["base_scenario"] == "baseline-dynamic"
         assert record["policy"] == "coorm"
+        assert record["routing"] == ""
+        assert record["topology"] == ""
         assert record["replicate"] == 0
         assert record["runner"] == "amr_psa"
         assert record["scale"] == "tiny"

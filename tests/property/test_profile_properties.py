@@ -75,9 +75,16 @@ class TestAlgebraInvariants:
     def test_duration_pair_roundtrip(self, a):
         horizon = a.times[-1] + 5.0
         rebuilt = StepFunction.from_duration_pairs(a.to_duration_pairs(horizon))
-        for t in list(a.times) + [horizon / 2]:
-            if t < horizon:
-                assert rebuilt.value_at(t) == a.value_at(t)
+        # Probe strictly inside each segment: from_duration_pairs rebuilds
+        # the boundary times by summing durations, so a boundary may land a
+        # float ulp away from the original and the value *at* it is
+        # legitimately ambiguous -- segment values, however, must survive.
+        probes = [horizon / 2]
+        for start, end, _value in a.segments():
+            if start < horizon:
+                probes.append(start + (min(end, horizon) - start) / 2.0)
+        for t in probes:
+            assert rebuilt.value_at(t) == a.value_at(t)
 
 
 class TestFindHoleInvariants:

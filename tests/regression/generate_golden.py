@@ -21,8 +21,19 @@ from repro.campaign import builtin  # noqa: F401  (registers the scenarios)
 from repro.campaign.registry import builtin_scenarios, get_runner
 from repro.sim.randomness import derive_seed
 
-#: The figure scenarios locked down by the golden fixtures.
-GOLDEN_SCENARIOS = ("fig1", "fig2", "fig3", "fig4", "fig9", "fig10", "fig11")
+#: The scenarios locked down by the golden fixtures: the paper figures plus
+#: the single-cluster federation (whose metrics must stay byte-identical to
+#: the direct scheduler path -- see tests/regression/test_federation_equivalence.py).
+GOLDEN_SCENARIOS = (
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fed-single",
+)
 
 GOLDEN_DIR = Path(__file__).resolve().parent.parent / "data" / "golden"
 
