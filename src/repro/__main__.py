@@ -6,6 +6,11 @@ the group's sub-parser to the top-level parser and ``run_command`` executes a
 parsed invocation.  ``python -m repro --help`` therefore always lists every
 group -- adding one is a single entry in :data:`COMMAND_GROUPS`, not an edit
 to an ad-hoc dispatch chain.
+
+The top-level parser also carries the global ``-v``/``--verbose`` and
+``-q``/``--quiet`` flags; :func:`main` feeds them into the shared
+:func:`repro.obs.logging_setup` before dispatching, so every group's
+narration obeys the same verbosity control.
 """
 from __future__ import annotations
 
@@ -15,6 +20,8 @@ from typing import List, Optional
 
 from .campaign.cli import add_campaign_commands, run_campaign_command
 from .federation.cli import add_federation_commands, run_federation_command
+from .obs.cli import add_obs_commands, run_obs_command
+from .obs.logsetup import logging_setup
 from .policies.cli import add_policy_commands, run_policy_command
 from .traces.cli import add_trace_commands, run_trace_command
 
@@ -26,6 +33,7 @@ COMMAND_GROUPS = (
     ("trace", add_trace_commands, run_trace_command),
     ("policy", add_policy_commands, run_policy_command),
     ("federation", add_federation_commands, run_federation_command),
+    ("obs", add_obs_commands, run_obs_command),
 )
 
 
@@ -34,8 +42,19 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description=(
             "CooRMv2 reproduction -- campaign orchestration, workload traces, "
-            "scheduling policies and multi-cluster federation."
+            "scheduling policies, multi-cluster federation and observability."
         ),
+    )
+    # Distinct dests (log_verbose/log_quiet) keep these global flags from
+    # colliding with subcommand options like ``campaign run --quiet``:
+    # argparse lets a subparser's defaults clobber same-named parent values.
+    parser.add_argument(
+        "-v", "--verbose", dest="log_verbose", action="store_true",
+        help="debug-level narration on stderr",
+    )
+    parser.add_argument(
+        "-q", "--quiet", dest="log_quiet", action="store_true",
+        help="warnings and errors only on stderr",
     )
     commands = parser.add_subparsers(dest="command", required=True)
     for _name, add_commands, _run_command in COMMAND_GROUPS:
@@ -45,6 +64,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    logging_setup(
+        verbose=getattr(args, "log_verbose", False),
+        quiet=getattr(args, "log_quiet", False),
+    )
     for name, _add_commands, run_command in COMMAND_GROUPS:
         if args.command == name:
             return run_command(args)

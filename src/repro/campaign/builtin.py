@@ -348,6 +348,16 @@ for _name, _runner, _description in [
         ScenarioSpec(name=_name, runner=_runner, description=_description)
     )
 
+# Descriptive alias: the fig9 experiment is the paper's *spontaneous
+# update* evaluation, and tooling examples refer to it by that name.
+register_scenario(
+    ScenarioSpec(
+        name="fig9-spontaneous",
+        runner="fig9",
+        description="Alias of fig9 (spontaneous updates overcommit sweep)",
+    )
+)
+
 register_scenario(
     ScenarioSpec(
         name="baseline-dynamic",

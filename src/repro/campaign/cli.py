@@ -28,6 +28,7 @@ from typing import List, Optional, Sequence
 
 from ..federation.routing import make_routing
 from ..metrics.report import format_comparison, format_table
+from ..obs.logsetup import get_logger
 from ..policies.registry import resolve_policy
 from . import builtin  # noqa: F401  (registers the built-in scenarios)
 from .registry import builtin_scenarios, resolve_scenarios
@@ -36,6 +37,8 @@ from .spec import SCALE_NAMES, CampaignSpec
 from .store import ResultStore
 
 __all__ = ["add_campaign_commands", "run_campaign_command", "build_parser", "main"]
+
+_LOG = get_logger("campaign")
 
 
 def add_campaign_commands(commands: argparse._SubParsersAction) -> None:
@@ -83,6 +86,17 @@ def add_campaign_commands(commands: argparse._SubParsersAction) -> None:
         help="append to existing records instead of replacing them",
     )
     run.add_argument("--quiet", action="store_true", help="suppress progress output")
+    run.add_argument(
+        "--obs", action="store_true",
+        help="collect per-run observability: metric counters into the run "
+        "records ('obs' field, shown by 'campaign report') and wall-clock "
+        "phase timers into meta.json",
+    )
+    run.add_argument(
+        "--trace-dir", default=None,
+        help="write one deterministic JSONL event trace per run into this "
+        "directory (implies per-run tracing; see 'python -m repro obs')",
+    )
 
     listing = actions.add_parser("list", help="list stored campaigns")
     listing.add_argument("--results-dir", default=None, help="result store root")
@@ -181,15 +195,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
 
     def progress(done: int, total: int, record) -> None:
+        # Narration goes through the shared logger (stderr): --quiet keeps
+        # the historic behaviour, the global -q/-v flags tune it further.
         if not args.quiet:
-            print(
-                f"[{done}/{total}] {record['scenario']} "
-                f"replicate={record['replicate']} seed={record['seed']}",
-                flush=True,
+            _LOG.info(
+                "[%d/%d] %s replicate=%s seed=%s",
+                done,
+                total,
+                record["scenario"],
+                record["replicate"],
+                record["seed"],
             )
 
-    runner = CampaignRunner(spec, store=store, progress=progress)
+    runner = CampaignRunner(
+        spec,
+        store=store,
+        progress=progress,
+        collect_obs=args.obs,
+        trace_dir=args.trace_dir,
+    )
     result = runner.run(workers=args.workers, append=args.append)
+    if args.trace_dir:
+        _LOG.info("event traces written under %s", args.trace_dir)
     print(
         f"campaign {spec.name!r}: {len(result.records)} runs in "
         f"{result.elapsed_seconds:.2f}s with {result.workers} worker(s) "
@@ -278,6 +305,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         return 2
     matrix = store.policy_matrix(args.name, records)
     routing_matrix = store.routing_matrix(args.name, records)
+    obs_summary = store.obs_summary(args.name, records)
     print(f"campaign {args.name!r}: per-scenario medians over replicates")
     for scenario in summary:
         print()
@@ -294,6 +322,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
                 format_table(
                     ["cluster", "nodes", "routed", "alloc node-s", "util %"],
                     breakdown,
+                )
+            )
+        if scenario in obs_summary:
+            print()
+            print(f"-- {scenario}: observability (median per run) --")
+            print(
+                format_table(
+                    ["counter", "median"], list(obs_summary[scenario].items())
                 )
             )
     # Matrix campaigns additionally get side-by-side comparisons of every

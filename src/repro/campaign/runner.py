@@ -20,15 +20,17 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional
 
+from ..obs import EventTracer, MetricsRegistry, PhaseProfiler, observe
 from ..sim.randomness import derive_seed
 from . import builtin  # noqa: F401  (registers the built-in runners)
 from .registry import consume_provenance, get_runner
 from .spec import CampaignSpec, ScenarioSpec
 from .store import ResultStore
 
-__all__ = ["RunTask", "CampaignResult", "CampaignRunner"]
+__all__ = ["RunTask", "CampaignResult", "CampaignRunner", "trace_filename"]
 
 #: Progress callback: called with (completed, total, record) per finished run.
 ProgressFn = Callable[[int, int, Mapping], None]
@@ -46,6 +48,12 @@ class RunTask:
     #: always derived from this name so every policy variant replays the
     #: same workload.
     base_scenario: str = ""
+    #: Collect per-run observability (metrics snapshot into the record's
+    #: ``obs`` field, wall-clock phases aggregated into ``meta.json``).
+    collect_obs: bool = False
+    #: When non-empty, write the run's deterministic JSONL event trace to
+    #: ``<trace_dir>/<scenario>_r<replicate>.trace.jsonl``.
+    trace_dir: str = ""
 
 
 @dataclass
@@ -65,11 +73,24 @@ class CampaignResult:
         raise KeyError(f"no record for scenario {scenario!r} replicate {replicate}")
 
 
+def trace_filename(scenario: str, replicate: int) -> str:
+    """Canonical trace file name of one run (pure function of the task)."""
+    return f"{scenario}_r{replicate}.trace.jsonl"
+
+
 def _execute_task(task: RunTask) -> Dict:
     """Run one task in the current process (also the pool worker body)."""
     runner = get_runner(task.scenario.runner)
     consume_provenance()  # drop leftovers from any previous run
-    metrics = dict(runner(task.scenario, task.seed))
+    observing = task.collect_obs or bool(task.trace_dir)
+    tracer = EventTracer() if task.trace_dir else None
+    registry = MetricsRegistry() if task.collect_obs else None
+    profiler = PhaseProfiler() if task.collect_obs else None
+    if observing:
+        with observe(tracer=tracer, metrics=registry, profiler=profiler):
+            metrics = dict(runner(task.scenario, task.seed))
+    else:
+        metrics = dict(runner(task.scenario, task.seed))
     record = {
         "scenario": task.scenario.name,
         "base_scenario": task.base_scenario or task.scenario.name,
@@ -89,6 +110,19 @@ def _execute_task(task: RunTask) -> Dict:
     provenance = consume_provenance()
     if provenance is not None:
         record["provenance"] = provenance
+    if registry is not None:
+        # Deterministic: snapshots are pure functions of the simulation,
+        # so they may live in the byte-stable run records.
+        record["obs"] = registry.snapshot()
+    if profiler is not None and len(profiler):
+        # Wall-clock: the parent pops this out and aggregates it into
+        # meta.json; it must never be persisted in runs.jsonl.
+        record["_phase_seconds"] = profiler.snapshot()
+    if tracer is not None:
+        directory = Path(task.trace_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / trace_filename(task.scenario.name, task.replicate)
+        path.write_text(tracer.to_jsonl(), encoding="utf-8")
     return record
 
 
@@ -100,10 +134,14 @@ class CampaignRunner:
         spec: CampaignSpec,
         store: Optional[ResultStore] = None,
         progress: Optional[ProgressFn] = None,
+        collect_obs: bool = False,
+        trace_dir: Optional[str] = None,
     ):
         self.spec = spec
         self.store = store
         self.progress = progress
+        self.collect_obs = collect_obs
+        self.trace_dir = str(trace_dir) if trace_dir else ""
 
     def tasks(self) -> List[RunTask]:
         """The full grid, in canonical (scenario, policy, replicate) order.
@@ -117,6 +155,8 @@ class CampaignRunner:
                 replicate=replicate,
                 seed=derive_seed(self.spec.root_seed, base_name, replicate),
                 base_scenario=base_name,
+                collect_obs=self.collect_obs,
+                trace_dir=self.trace_dir,
             )
             for variant, base_name in self.spec.expanded_scenarios()
             for replicate in range(self.spec.seeds)
@@ -165,16 +205,32 @@ class CampaignRunner:
         }
         records.sort(key=lambda r: (order[r["scenario"]], r["replicate"]))
 
+        # Per-run wall-clock phase breakdowns are non-deterministic: pop
+        # them off the records (they must never reach runs.jsonl) and
+        # aggregate them into the campaign-level profiler for meta.json.
+        profiler = PhaseProfiler()
+        profiler.add("campaign.execute", elapsed, count=len(records) or 1)
+        for record in records:
+            phases = record.pop("_phase_seconds", None)
+            if phases:
+                profiler.merge(phases)
+
         store_path: Optional[str] = None
         if self.store is not None:
+            # Time the run-file write through the store's own hook so the
+            # breakdown in meta.json includes it (meta.json itself is then
+            # rewritten with the final snapshot -- a cheap second write).
+            with observe(profiler=profiler):
+                self.store.save_campaign(self.spec, records, append=append)
             meta = {
                 "workers": workers,
                 "elapsed_seconds": elapsed,
                 "run_count": len(records),
                 "finished_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+                "phase_seconds": profiler.snapshot(),
             }
             store_path = str(
-                self.store.save_campaign(self.spec, records, meta=meta, append=append)
+                self.store.save_campaign(self.spec, [], meta=meta, append=True)
             )
 
         return CampaignResult(

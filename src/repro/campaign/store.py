@@ -18,11 +18,13 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..metrics.collector import median_summary
+from ..obs import hooks as _obs
 from .spec import CampaignSpec
 
 __all__ = ["CampaignInfo", "ResultStore", "DEFAULT_RESULTS_DIR"]
@@ -89,6 +91,8 @@ class ResultStore:
         per-execution block is still deterministically ordered), which keeps
         benchmark trajectories across repeated executions.
         """
+        profiler = _obs.PROFILER[0]
+        write_started = time.perf_counter() if profiler is not None else 0.0
         directory = self.campaign_dir(spec.name)
         directory.mkdir(parents=True, exist_ok=True)
 
@@ -108,6 +112,8 @@ class ResultStore:
             (directory / _META_FILE).write_text(
                 json.dumps(dict(meta), indent=2, sort_keys=True) + "\n", encoding="utf-8"
             )
+        if profiler is not None:
+            profiler.add("store.write", time.perf_counter() - write_started)
         return directory
 
     # ------------------------------------------------------------------ #
@@ -175,6 +181,27 @@ class ResultStore:
         return {
             scenario: median_summary(metrics)
             for scenario, metrics in by_scenario.items()
+        }
+
+    def obs_summary(
+        self, name: str, records: Optional[Sequence[Mapping]] = None
+    ) -> Dict[str, Dict[str, float]]:
+        """Per-scenario medians of the recorded observability counters.
+
+        Records carry an ``obs`` field only when the campaign ran with
+        ``--obs``; scenarios without any such record are absent.  The
+        snapshots are flat metric dicts, so the same median machinery that
+        summarises simulation metrics applies unchanged.
+        """
+        by_scenario: Dict[str, List[Mapping]] = {}
+        for record in records if records is not None else self.load_records(name):
+            obs = record.get("obs")
+            if isinstance(obs, Mapping):
+                scenario = str(record.get("scenario", ""))
+                by_scenario.setdefault(scenario, []).append(obs)
+        return {
+            scenario: median_summary(snapshots)
+            for scenario, snapshots in by_scenario.items()
         }
 
     def provenance_of(

@@ -17,9 +17,11 @@ simulator events.
 from __future__ import annotations
 
 import math
+import time
 from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Set
 
 from ..cluster.platform import Platform
+from ..obs import hooks as _obs
 from .accounting import Accountant
 from .errors import RequestError, SessionError
 from .events import (
@@ -475,7 +477,18 @@ class CooRMv2:
         usage = None
         if self.scheduler.policy.ordering.needs_usage:
             usage = self.accountant.used_node_seconds_by_app()
-        result = self.scheduler.schedule(applications, self.now, usage=usage)
+        metrics = _obs.METRICS[0]
+        profiler = _obs.PROFILER[0]
+        if metrics is not None:
+            metrics.inc("rms.passes")
+        if profiler is None:
+            result = self.scheduler.schedule(applications, self.now, usage=usage)
+        else:
+            started = time.perf_counter()
+            try:
+                result = self.scheduler.schedule(applications, self.now, usage=usage)
+            finally:
+                profiler.add("scheduler.pass", time.perf_counter() - started)
 
         # Start requests whose time has come.  Non-preemptible requests that
         # cannot get node IDs yet (resources not released) stay pending and
@@ -488,6 +501,8 @@ class CooRMv2:
             if not self._start_request(session, request):
                 deferred = True
         if deferred:
+            if metrics is not None:
+                metrics.inc("rms.deferred_starts")
             # Make sure a retry happens even if no further message arrives
             # (the releasing application may already have gone quiet).
             self.simulator.schedule(self.rescheduling_interval, self._trigger_schedule)
@@ -498,6 +513,8 @@ class CooRMv2:
             preemptive = result.preemptive_views.get(session.app_id, View.empty())
             if session.views_changed(non_preemptive, preemptive):
                 session.remember_views(non_preemptive, preemptive)
+                if metrics is not None:
+                    metrics.inc("rms.views_pushed")
                 self.event_log.record(
                     ViewsPushed(
                         self.now,

@@ -40,6 +40,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
+from ..obs import hooks as _obs
 from ..policies.base import SchedulingContext
 from ..policies.registry import DEFAULT_POLICY, STRICT_POLICY, resolve_policy
 from .request import Request
@@ -49,6 +50,32 @@ from .types import ClusterId, Time
 from .view import View
 
 __all__ = ["ScheduleResult", "Scheduler"]
+
+_OBS_EPS = 1e-9
+
+
+def _classify_placements(pending: List[Request], now: Time) -> Dict[str, int]:
+    """Outcome counts of one application's pending requests after a fit.
+
+    ``start``: placed at (or before) *now* -- the request starts this pass;
+    ``reserved``: placed at a finite future time (a backfill reservation);
+    ``deferred``: left unplaced (``scheduled_at`` is infinite), e.g. EASY
+    dropping the reservation of a non-head application.
+    """
+    started = reserved = deferred = 0
+    for request in pending:
+        if math.isinf(request.scheduled_at):
+            deferred += 1
+        elif request.scheduled_at <= now + _OBS_EPS:
+            started += 1
+        else:
+            reserved += 1
+    return {"start": started, "reserved": reserved, "deferred": deferred}
+
+
+def _view_total_at(view: View, now: Time) -> float:
+    """Total nodes a view offers at *now*, summed over its clusters."""
+    return float(sum(view.value_at(cid, now) for cid in view.clusters()))
 
 
 @dataclass
@@ -140,6 +167,41 @@ class Scheduler:
                 "a permutation of the applications"
             )
 
+        # Observability is gated once per pass; every argument recorded below
+        # is a pure function of the simulation state (apps, counts, times --
+        # never raw request ids, which come from a process-global counter).
+        tracer = _obs.TRACER[0]
+        metrics = _obs.METRICS[0]
+        observing = tracer is not None or metrics is not None
+        if observing:
+            pending_total = sum(
+                len(requests.preallocations.pending())
+                + len(requests.non_preemptible.pending())
+                for requests in applications.values()
+            )
+            if metrics is not None:
+                metrics.inc("scheduler.passes")
+                metrics.observe("scheduler.queue_depth", len(applications))
+                metrics.observe("scheduler.pending_requests", pending_total)
+            if tracer is not None:
+                tracer.counter(
+                    now,
+                    "scheduler",
+                    "queue_depth",
+                    {"apps": len(applications), "pending": pending_total},
+                )
+                tracer.emit(
+                    now,
+                    "scheduler",
+                    "order",
+                    {
+                        "ordering": self.policy.ordering.name,
+                        "policy": self.policy.name,
+                        "order": list(order),
+                        "reordered": list(order) != list(applications),
+                    },
+                )
+
         # Line 1-2: scratch views start with the whole platform.
         available_non_preemptible = self.full_view()
         available_preemptible = self.full_view()
@@ -179,6 +241,11 @@ class Scheduler:
             is_head = has_pending and not head_seen
             head_seen = head_seen or has_pending
 
+            if observing:
+                pending_before = list(requests.preallocations.pending()) + list(
+                    requests.non_preemptible.pending()
+                )
+
             # Line 7: the application's non-preemptive view.
             view_np = (pa_occ + available_non_preemptible).clip_low(0.0)
             result.non_preemptive_views[app_id] = view_np
@@ -216,6 +283,29 @@ class Scheduler:
             )
             available_preemptible = available_preemptible - occ_pending_np
 
+            if observing and pending_before:
+                outcome = _classify_placements(pending_before, now)
+                if metrics is not None:
+                    metrics.inc("scheduler.fit_attempts", len(pending_before))
+                    metrics.inc("scheduler.reservations", outcome["reserved"])
+                    if not is_head:
+                        # A non-head request starting now jumped the queue
+                        # head: the classical definition of a backfill hit.
+                        metrics.inc("scheduler.backfill_hits", outcome["start"])
+                if tracer is not None:
+                    tracer.emit(
+                        now,
+                        "scheduler",
+                        "fit",
+                        {
+                            "app": app_id,
+                            "head": is_head,
+                            "backfill": backfill.name,
+                            "free_now": _view_total_at(view_np, now),
+                            **outcome,
+                        },
+                    )
+
         # Line 12: share the preemptible space (equi-partitioning by default).
         # Sharing always sees the applications in connection order -- queue
         # ordering governs the non-preemptive pass only.
@@ -235,6 +325,32 @@ class Scheduler:
                     continue
                 if not math.isinf(r.scheduled_at) and r.scheduled_at <= now + 1e-9:
                     result.to_start.append(r)
+
+        if observing:
+            if metrics is not None:
+                metrics.inc("scheduler.to_start", len(result.to_start))
+            if tracer is not None:
+                tracer.emit(
+                    now,
+                    "scheduler",
+                    "share",
+                    {
+                        "sharing": self.policy.sharing.name,
+                        "alloc": {
+                            app_id: round(_view_total_at(view, now), 6)
+                            for app_id, view in sorted(result.preemptive_views.items())
+                        },
+                    },
+                )
+                tracer.emit(
+                    now,
+                    "scheduler",
+                    "to_start",
+                    {
+                        "count": len(result.to_start),
+                        "apps": sorted({r.app_id for r in result.to_start}),
+                    },
+                )
 
         return result
 

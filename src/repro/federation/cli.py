@@ -22,11 +22,14 @@ from dataclasses import replace
 
 from ..core.errors import ReproError
 from ..metrics.report import format_table
+from ..obs.logsetup import get_logger
 from ..sim.randomness import derive_seed
 from .routing import describe_routing, make_routing, routing_names
 from .spec import get_topology, topology_names
 
 __all__ = ["add_federation_commands", "run_federation_command"]
+
+_LOG = get_logger("federation")
 
 
 def add_federation_commands(commands: argparse._SubParsersAction) -> None:
@@ -139,9 +142,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # whose clusters can hold the scenario's applications.
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(
-        f"scenario {spec.name!r} on topology {args.topology!r} "
-        f"(routing {topology.routing!r}, seed {seed})"
+    _LOG.info(
+        "scenario %r on topology %r (routing %r, seed %d)",
+        spec.name,
+        args.topology,
+        topology.routing,
+        seed,
     )
     print(format_table(["metric", "value"], sorted(metrics.items())))
     return 0

@@ -26,6 +26,7 @@ from ..apps.base import BaseApplication
 from ..cluster.platform import Platform
 from ..core.errors import RequestError
 from ..core.rms import CooRMv2
+from ..obs import hooks as _obs
 from ..sim.engine import Simulator
 from ..sim.randomness import derive_seed
 from .routing import ClusterState, RoutingPolicy, RoutingRequest, make_routing
@@ -156,15 +157,32 @@ class MetaScheduler:
                 f"{index} for {len(self.members)} members"
             )
         member = self.members[index]
-        self.decisions.append(
-            RoutingDecision(
-                app_id=app_id,
-                cluster=member.name,
-                group=request.affinity_group(),
-                node_count=request.node_count,
-                time=now,
-            )
+        decision = RoutingDecision(
+            app_id=app_id,
+            cluster=member.name,
+            group=request.affinity_group(),
+            node_count=request.node_count,
+            time=now,
         )
+        self.decisions.append(decision)
+        tracer = _obs.TRACER[0]
+        if tracer is not None:
+            tracer.emit(
+                now,
+                "federation",
+                "route",
+                {
+                    "app": app_id,
+                    "cluster": member.name,
+                    "routing": self.routing.name,
+                    "group": decision.group,
+                    "node_count": decision.node_count,
+                },
+            )
+        metrics = _obs.METRICS[0]
+        if metrics is not None:
+            metrics.inc("federation.routing_decisions")
+            metrics.inc(f"federation.routed[{member.name}]")
         return member
 
     def register(

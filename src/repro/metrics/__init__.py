@@ -1,10 +1,11 @@
 """Metrics collection and plain-text reporting for simulation results."""
-from .collector import SimulationMetrics, summarize_runs
+from .collector import SimulationMetrics, median_summary, summarize_runs
 from .report import format_percent, format_series, format_table
 
 __all__ = [
     "SimulationMetrics",
     "summarize_runs",
+    "median_summary",
     "format_percent",
     "format_series",
     "format_table",

@@ -72,15 +72,23 @@ class SimulationMetrics:
 
     @property
     def psa_waste_percent(self) -> float:
-        """PSA waste as a percentage of the platform capacity."""
-        if self.capacity_node_seconds <= 0:
+        """PSA waste as a percentage of the platform capacity.
+
+        A degenerate capacity (zero-length measurement window, or a NaN
+        horizon from an application that never started) yields 0.0, never
+        NaN or a division error.
+        """
+        if not math.isfinite(self.capacity_node_seconds) or self.capacity_node_seconds <= 0:
             return 0.0
         return 100.0 * self.psa_waste_node_seconds / self.capacity_node_seconds
 
     @property
     def used_resources_percent(self) -> float:
-        """Percent of used resources as defined in Section 5.3."""
-        if self.capacity_node_seconds <= 0:
+        """Percent of used resources as defined in Section 5.3.
+
+        Degenerate capacities yield 0.0 (see :attr:`psa_waste_percent`).
+        """
+        if not math.isfinite(self.capacity_node_seconds) or self.capacity_node_seconds <= 0:
             return 0.0
         useful = self.total_allocated_node_seconds - self.psa_waste_node_seconds
         return 100.0 * useful / self.capacity_node_seconds
@@ -190,26 +198,41 @@ class SimulationMetrics:
 
 
 def summarize_runs(metrics: Iterable[SimulationMetrics]) -> Dict[str, float]:
-    """Median-based summary over repeated runs (the paper plots medians)."""
+    """Median-based summary over repeated runs (the paper plots medians).
+
+    The result is always NaN-free: non-finite samples (an unfinished AMR
+    reports a NaN end time; a zero-length measurement window can make the
+    derived percentages non-finite) are dropped per key, and a key with no
+    finite sample at all is omitted rather than reported as NaN.  Empty
+    input yields an empty dict.
+    """
     runs: List[SimulationMetrics] = list(metrics)
     if not runs:
         return {}
 
-    def median(values: List[float]) -> float:
-        values = sorted(values)
+    def median_of_finite(values: List[float]) -> Optional[float]:
+        values = sorted(v for v in values if math.isfinite(v))
         n = len(values)
+        if not n:
+            return None
         mid = n // 2
         if n % 2:
             return values[mid]
         return 0.5 * (values[mid - 1] + values[mid])
 
-    return {
-        "amr_used_node_seconds": median([m.amr_used_node_seconds for m in runs]),
-        "amr_end_time": median([m.amr_end_time for m in runs]),
-        "psa_waste_node_seconds": median([m.psa_waste_node_seconds for m in runs]),
-        "psa_waste_percent": median([m.psa_waste_percent for m in runs]),
-        "used_resources_percent": median([m.used_resources_percent for m in runs]),
+    candidates = {
+        "amr_used_node_seconds": [m.amr_used_node_seconds for m in runs],
+        "amr_end_time": [m.amr_end_time for m in runs],
+        "psa_waste_node_seconds": [m.psa_waste_node_seconds for m in runs],
+        "psa_waste_percent": [m.psa_waste_percent for m in runs],
+        "used_resources_percent": [m.used_resources_percent for m in runs],
     }
+    summary: Dict[str, float] = {}
+    for key, values in candidates.items():
+        median = median_of_finite(values)
+        if median is not None:
+            summary[key] = median
+    return summary
 
 
 def median_summary(records: Iterable[Mapping[str, object]]) -> Dict[str, float]:

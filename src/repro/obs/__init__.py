@@ -1,0 +1,42 @@
+"""Observability: deterministic tracing, metrics and wall-clock profiling.
+
+The three pillars, all **zero-cost when disabled** (instrumented code takes
+its plain path unless an instrument is activated with
+:func:`~repro.obs.hooks.observe`):
+
+* :class:`EventTracer` -- sim-time structured tracing of engine event
+  dispatch, scheduler decisions (ordering, fits, reservations, sharing) and
+  federation routing; exports deterministically to JSONL and Chrome
+  ``trace_event`` JSON (``chrome://tracing`` / Perfetto).
+* :class:`MetricsRegistry` -- deterministic counters/gauges/histograms per
+  run, flowing into campaign result rows and ``campaign report``.
+* :class:`PhaseProfiler` -- wall-clock phase timers (trace ingest,
+  scheduling, event dispatch, store writes) feeding campaign ``meta.json``
+  and the ``BENCH_*.json`` perf snapshots.
+
+``python -m repro obs`` (see :mod:`repro.obs.cli`) fronts all three:
+``summarize`` / ``export`` / ``diff`` / ``bench``.  :func:`logging_setup`
+is the shared CLI logging configuration every command group uses.
+"""
+from .hooks import METRICS, PROFILER, TRACER, observation_enabled, observe
+from .logsetup import get_logger, logging_setup
+from .metrics import Histogram, MetricsRegistry
+from .profiler import PhaseProfiler
+from .tracer import EventTracer, TraceEvent, diff_events, load_jsonl
+
+__all__ = [
+    "TRACER",
+    "METRICS",
+    "PROFILER",
+    "observation_enabled",
+    "observe",
+    "EventTracer",
+    "TraceEvent",
+    "diff_events",
+    "load_jsonl",
+    "MetricsRegistry",
+    "Histogram",
+    "PhaseProfiler",
+    "logging_setup",
+    "get_logger",
+]

@@ -1,0 +1,202 @@
+"""The ``python -m repro obs`` command group.
+
+Commands::
+
+    python -m repro obs export --scenario fig9-spontaneous --seed 1
+    python -m repro obs export --scenario fig9 --seed 1 --format jsonl --out t.jsonl
+    python -m repro obs summarize --scenario fig9 --seed 1
+    python -m repro obs diff a.trace.jsonl b.trace.jsonl
+    python -m repro obs bench --output BENCH_6.json
+
+``export`` runs one scenario under the event tracer and writes the trace as
+Chrome ``trace_event`` JSON (open it in ``chrome://tracing`` or Perfetto) or
+canonical JSONL.  ``summarize`` prints the event and metric breakdown of one
+run.  ``diff`` compares two JSONL traces and pinpoints the first divergence
+-- the exports are deterministic, so any difference is a real behavioural
+difference.  ``bench`` runs the observability benchmark suite and writes the
+``BENCH_6.json`` perf snapshot CI archives.
+"""
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, Tuple
+
+from .hooks import observe
+from .logsetup import get_logger
+from .metrics import MetricsRegistry
+from .tracer import EventTracer, diff_events, load_jsonl
+
+__all__ = ["add_obs_commands", "run_obs_command"]
+
+_LOG = get_logger("obs")
+
+
+def add_obs_commands(commands: argparse._SubParsersAction) -> None:
+    """Attach the ``obs`` command group to the top-level CLI parser."""
+    obs = commands.add_parser(
+        "obs", help="trace, summarize and benchmark the observability layer"
+    )
+    actions = obs.add_subparsers(dest="action", required=True)
+
+    export = actions.add_parser(
+        "export", help="run one scenario under the tracer and export the trace"
+    )
+    export.add_argument("--scenario", required=True, help="built-in scenario name")
+    export.add_argument("--seed", type=int, default=0, help="run seed (default 0)")
+    export.add_argument(
+        "--scale", default=None, help="evaluation scale override (tiny/reduced/paper)"
+    )
+    export.add_argument(
+        "--format", choices=("chrome", "jsonl"), default="chrome",
+        help="chrome trace_event JSON (default) or canonical JSONL",
+    )
+    export.add_argument(
+        "--out", default=None, help="output file (default: stdout)"
+    )
+
+    summarize = actions.add_parser(
+        "summarize", help="run one scenario and print its event/metric breakdown"
+    )
+    summarize.add_argument("--scenario", required=True, help="built-in scenario name")
+    summarize.add_argument("--seed", type=int, default=0, help="run seed (default 0)")
+    summarize.add_argument(
+        "--scale", default=None, help="evaluation scale override (tiny/reduced/paper)"
+    )
+
+    diff = actions.add_parser(
+        "diff", help="compare two JSONL trace exports, pinpointing divergence"
+    )
+    diff.add_argument("trace_a", help="first JSONL trace file")
+    diff.add_argument("trace_b", help="second JSONL trace file")
+
+    bench = actions.add_parser(
+        "bench", help="run the observability benchmark suite (BENCH_6.json)"
+    )
+    bench.add_argument(
+        "--output", default=None, help="write the JSON report to this file"
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=5, help="timing repeats per benchmark"
+    )
+    bench.add_argument(
+        "--no-check", action="store_true",
+        help="report floors without failing on a violation",
+    )
+
+
+def _traced_run(
+    scenario: str, seed: int, scale
+) -> Tuple[EventTracer, MetricsRegistry, Dict]:
+    """Run one scenario under tracer + metrics; returns both instruments."""
+    from ..campaign import builtin  # noqa: F401  (registers the runners)
+    from ..campaign.registry import consume_provenance, get_runner, resolve_scenarios
+
+    spec = resolve_scenarios([scenario], scale=scale)[0]
+    runner = get_runner(spec.runner)
+    tracer = EventTracer()
+    registry = MetricsRegistry()
+    consume_provenance()
+    with observe(tracer=tracer, metrics=registry):
+        metrics = dict(runner(spec, seed))
+    consume_provenance()
+    return tracer, registry, metrics
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    try:
+        tracer, _registry, _metrics = _traced_run(args.scenario, args.seed, args.scale)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    text = tracer.to_chrome(label=f"repro {args.scenario} seed={args.seed}")
+    if args.format == "jsonl":
+        text = tracer.to_jsonl()
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        _LOG.info(
+            "%d events (%s) -> %s", len(tracer), args.format, args.out
+        )
+        print(args.out)
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    from ..metrics.report import format_table
+
+    try:
+        tracer, registry, metrics = _traced_run(args.scenario, args.seed, args.scale)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(
+        f"scenario {args.scenario!r} seed={args.seed}: "
+        f"{len(tracer)} trace events, {len(registry)} metrics"
+    )
+    event_rows = [
+        (cat, name, count)
+        for (cat, name), count in sorted(tracer.count_by().items())
+    ]
+    if event_rows:
+        print()
+        print(format_table(["category", "event", "count"], event_rows))
+    if len(registry):
+        print()
+        print(format_table(["metric", "value"], registry.rows()))
+    if metrics:
+        print()
+        print(
+            format_table(
+                ["simulation metric", "value"], sorted(metrics.items())
+            )
+        )
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    try:
+        events_a = load_jsonl(Path(args.trace_a).read_text(encoding="utf-8"))
+        events_b = load_jsonl(Path(args.trace_b).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    lines = diff_events(events_a, events_b)
+    if not lines:
+        print(f"identical: {len(events_a)} events")
+        return 0
+    for line in lines:
+        print(line)
+    return 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench import run_bench
+
+    try:
+        report = run_bench(
+            output=args.output,
+            repeats=args.repeats,
+            check_floors=not args.no_check,
+        )
+    except AssertionError as exc:
+        print(f"benchmark floor violation: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if args.output:
+        _LOG.info("report written to %s", args.output)
+    return 0
+
+
+def run_obs_command(args: argparse.Namespace) -> int:
+    handlers = {
+        "export": _cmd_export,
+        "summarize": _cmd_summarize,
+        "diff": _cmd_diff,
+        "bench": _cmd_bench,
+    }
+    return handlers[args.action](args)

@@ -1,0 +1,75 @@
+"""Shared CLI logging configuration (``repro.obs.logging_setup``).
+
+Every ``python -m repro`` command group configures its diagnostics through
+one function instead of ad-hoc ``print`` calls: :func:`logging_setup`
+installs a single stderr handler on the ``repro`` logger and maps the CLI's
+``--verbose`` / ``--quiet`` flags to levels.  Command *output* (tables,
+reports, file paths) keeps going to stdout via ``print``; everything that
+narrates progress or context goes through loggers, so ``--quiet`` silences
+narration without touching output and ``--verbose`` turns on debug detail
+-- uniformly across the campaign, trace, policy, federation and obs
+groups.
+"""
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+__all__ = ["logging_setup", "get_logger"]
+
+#: The root logger of the package; every group logs under ``repro.<group>``.
+ROOT_LOGGER_NAME = "repro"
+
+#: Marker attribute identifying the handler this module installed.
+_HANDLER_MARK = "_repro_obs_handler"
+
+
+def get_logger(group: str) -> logging.Logger:
+    """The logger of one command group (``repro.campaign``, ...)."""
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{group}")
+
+
+def logging_setup(
+    verbose: bool = False,
+    quiet: bool = False,
+    stream=None,
+) -> logging.Logger:
+    """Configure the shared ``repro`` logger and return it.
+
+    ``verbose`` selects DEBUG, ``quiet`` selects WARNING (narration off,
+    problems still visible), the default is INFO.  The function is
+    idempotent: repeated calls reconfigure the level but never stack
+    handlers, so CLI entry points may call it unconditionally.  *stream*
+    defaults to ``sys.stderr`` -- logs never contaminate stdout, whose
+    bytes CI compares across worker counts.
+    """
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    level = logging.DEBUG if verbose else (logging.WARNING if quiet else logging.INFO)
+    logger.setLevel(level)
+
+    handler: Optional[logging.Handler] = None
+    for existing in logger.handlers:
+        if getattr(existing, _HANDLER_MARK, False):
+            handler = existing
+            break
+    if handler is None:
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        setattr(handler, _HANDLER_MARK, True)
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        logger.addHandler(handler)
+        logger.propagate = False
+    else:
+        # Rebind instead of handler.setStream(): setStream flushes the
+        # outgoing stream first, which raises if it has since been closed
+        # (e.g. a test harness's captured stderr from an earlier CLI
+        # invocation).  With no explicit *stream*, re-resolve sys.stderr so
+        # the handler follows redirections instead of pinning the stream
+        # that happened to be installed at first call.
+        handler.acquire()
+        try:
+            handler.stream = stream if stream is not None else sys.stderr
+        finally:
+            handler.release()
+    handler.setLevel(logging.DEBUG)
+    return logger

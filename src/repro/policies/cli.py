@@ -18,6 +18,7 @@ import json
 import sys
 
 from ..metrics.report import format_table
+from ..obs.logsetup import get_logger
 from .registry import (
     backfill_names,
     describe_policy,
@@ -31,6 +32,8 @@ from .registry import (
 )
 
 __all__ = ["add_policy_commands", "run_policy_command"]
+
+_LOG = get_logger("policy")
 
 
 def add_policy_commands(commands: argparse._SubParsersAction) -> None:
@@ -55,6 +58,7 @@ def add_policy_commands(commands: argparse._SubParsersAction) -> None:
 
 def _cmd_list(_args: argparse.Namespace) -> int:
     rows = []
+    _LOG.debug("listing %d registered policies", len(policy_names()))
     for name in policy_names():
         entry = describe_policy(name)
         rows.append(

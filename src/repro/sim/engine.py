@@ -14,12 +14,32 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import time
 from typing import Any, Callable, Generator, List, Optional
 
 from ..core.errors import SimulationError
 from ..core.types import Time
+from ..obs import hooks as _obs
 
-__all__ = ["EventHandle", "Simulator", "Process"]
+__all__ = ["EventHandle", "Simulator", "Process", "callback_label"]
+
+
+def callback_label(callback: Callable) -> str:
+    """Deterministic human-readable label of an event callback.
+
+    Used by the tracer's engine instrumentation: the label must be a pure
+    function of the *code*, never of object identity (no ``repr`` with
+    memory addresses), so traces stay byte-identical across processes.
+    Bound methods of a :class:`Process` report the process name, which is
+    itself derived from the generator's qualified name.
+    """
+    owner = getattr(callback, "__self__", None)
+    if isinstance(owner, Process):
+        return f"process:{owner.name}"
+    name = getattr(callback, "__qualname__", None)
+    if name is None:  # pragma: no cover - exotic callables (partial, C funcs)
+        name = getattr(type(callback), "__qualname__", "callable")
+    return name
 
 
 class EventHandle:
@@ -62,7 +82,10 @@ class Process:
     def __init__(self, simulator: "Simulator", generator: Generator, name: str = ""):
         self.simulator = simulator
         self.generator = generator
-        self.name = name or repr(generator)
+        # The default name is the generator's *qualified name*, not its repr:
+        # a repr embeds the object address, which would make any trace or log
+        # carrying process names non-deterministic across processes.
+        self.name = name or getattr(generator, "__qualname__", type(generator).__qualname__)
         self.finished = False
         self._resume_handle: Optional[EventHandle] = None
 
@@ -163,32 +186,88 @@ class Simulator:
         handle.callback(*handle.args, **handle.kwargs)
         return True
 
+    def _step_observed(self) -> bool:
+        """:meth:`step` with observability instrumentation.
+
+        A deliberate near-duplicate of :meth:`step`: keeping the plain
+        variant free of any observation code is what makes tracing
+        zero-cost when disabled -- :meth:`run` selects the variant **once**
+        per call, so a disabled run never pays a per-event check.  Any
+        semantic change to :meth:`step` must be mirrored here (the obs
+        regression tests assert both variants produce identical metrics).
+        """
+        self._drop_dead_events()
+        if not self._queue:
+            return False
+        handle = heapq.heappop(self._queue)
+        if handle.time < self._now - 1e-9:
+            raise SimulationError("event queue went back in time")
+        self._now = max(self._now, handle.time)
+        handle.fired = True
+        self._processed += 1
+        tracer = _obs.TRACER[0]
+        if tracer is not None:
+            tracer.emit(
+                self._now,
+                "engine",
+                "dispatch",
+                {"callback": callback_label(handle.callback), "event_seq": handle.seq},
+            )
+        metrics = _obs.METRICS[0]
+        if metrics is not None:
+            metrics.inc("engine.events_dispatched")
+        profiler = _obs.PROFILER[0]
+        if profiler is None:
+            handle.callback(*handle.args, **handle.kwargs)
+        else:
+            started = time.perf_counter()
+            try:
+                handle.callback(*handle.args, **handle.kwargs)
+            finally:
+                profiler.add("engine.dispatch", time.perf_counter() - started)
+        return True
+
     def run(self, until: Time = math.inf, max_events: int = 10_000_000) -> Time:
         """Run until the queue drains or the clock passes *until*.
 
         Returns the simulation time when the run stopped.  *max_events*
-        guards against accidental infinite event loops.
+        guards against accidental infinite event loops.  Whether events are
+        dispatched through the plain or the observed step variant is decided
+        once per call, from the observation state at entry.
         """
         if self._running:
             raise SimulationError("the simulator is already running (re-entrant run())")
         self._running = True
         fired = 0
+        step = self._step_observed if _obs.observation_enabled() else self.step
         try:
-            while True:
-                self._drop_dead_events()
-                if not self._queue:
-                    break
-                if self._queue[0].time > until:
-                    self._now = until if math.isfinite(until) else self._now
-                    break
-                if not self.step():
-                    break
-                fired += 1
-                if fired > max_events:
-                    raise SimulationError(
-                        f"more than {max_events} events fired; "
-                        "likely an infinite scheduling loop"
-                    )
+            if not math.isfinite(until):
+                # Unbounded run: step() already sweeps dead events and
+                # reports queue exhaustion, so the loop needs no per-event
+                # peek -- this keeps run() as cheap as a bare step loop.
+                while step():
+                    fired += 1
+                    if fired > max_events:
+                        raise SimulationError(
+                            f"more than {max_events} events fired; "
+                            "likely an infinite scheduling loop"
+                        )
+            else:
+                while True:
+                    self._drop_dead_events()
+                    if not self._queue:
+                        break
+                    if self._queue[0].time > until:
+                        self._now = until
+                        break
+                    if not step():
+                        break
+                    fired += 1
+                    if fired > max_events:
+                        raise SimulationError(
+                            f"more than {max_events} events fired; "
+                            "likely an infinite scheduling loop"
+                        )
         finally:
             self._running = False
         return self._now

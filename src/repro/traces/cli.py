@@ -22,6 +22,7 @@ from typing import List
 
 from ..core.errors import WorkloadError
 from ..metrics.report import format_table
+from ..obs.logsetup import get_logger
 from .convert import AdaptiveMix, convert_trace, mix_counts
 from .models import (
     DailyCycleArrivals,
@@ -41,6 +42,8 @@ from .transform import (
 )
 
 __all__ = ["add_trace_commands", "run_trace_command"]
+
+_LOG = get_logger("trace")
 
 
 def add_trace_commands(commands: argparse._SubParsersAction) -> None:
@@ -189,9 +192,11 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     before = trace.job_count
     trace = _pipeline_from_args(args).apply(trace)
     dump_swf(trace, args.output)
-    print(
-        f"wrote {trace.job_count} jobs ({before - trace.job_count} dropped) "
-        f"to {args.output}"
+    _LOG.info(
+        "wrote %d jobs (%d dropped) to %s",
+        trace.job_count,
+        before - trace.job_count,
+        args.output,
     )
     if args.mix is not None:
         mix = AdaptiveMix.parse(args.mix)
@@ -226,9 +231,12 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     model = _model_from_args(args)
     trace = model.synthesize(args.jobs, seed=args.seed)
     dump_swf(trace, args.output)
-    print(
-        f"synthesized {trace.job_count} jobs "
-        f"(span {trace.span:.0f}s, max {trace.max_nodes} nodes) to {args.output}"
+    _LOG.info(
+        "synthesized %d jobs (span %.0fs, max %d nodes) to %s",
+        trace.job_count,
+        trace.span,
+        trace.max_nodes,
+        args.output,
     )
     return 0
 

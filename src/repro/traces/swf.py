@@ -13,12 +13,14 @@ Unknown values are ``-1`` throughout, as mandated by the format.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from ..core.errors import WorkloadError
 from ..core.textio import read_trace_text, write_text_file
+from ..obs import hooks as _obs
 from ..workloads.generator import RigidJobSpec
 
 __all__ = [
@@ -278,6 +280,8 @@ def loads_swf(
     fewer than 18 fields are padded with ``-1`` -- both defects are common in
     archived traces.
     """
+    profiler = _obs.PROFILER[0]
+    ingest_started = time.perf_counter() if profiler is not None else 0.0
     directives: Dict[str, str] = {}
     comments: List[str] = []
     jobs: List[SwfJob] = []
@@ -323,6 +327,8 @@ def loads_swf(
             continue
         jobs.append(SwfJob(**values))
 
+    if profiler is not None:
+        profiler.add("trace.ingest", time.perf_counter() - ingest_started)
     step: Dict[str, object] = {"kind": "load", "source": source, "jobs": len(jobs)}
     if skipped:
         step["skipped_lines"] = skipped

@@ -1,0 +1,183 @@
+"""Observability layer end-to-end: determinism, neutrality, CLI.
+
+The two load-bearing properties of ``repro.obs`` (ISSUE 6 satellite c):
+
+* identical ``(scenario, seed)`` campaigns produce **byte-identical** trace
+  exports and run records at 1 vs 4 workers -- instrumentation must never
+  observe anything process-dependent;
+* a *disabled* tracer is invisible: every simulation metric is identical
+  with and without live instruments, so the golden fig1--fig11 fixtures
+  (exercised by the regression suite) cannot be perturbed by this layer.
+"""
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import CampaignRunner, CampaignSpec, ResultStore, resolve_scenarios
+from repro.campaign.registry import consume_provenance, get_runner
+from repro.campaign.runner import trace_filename
+from repro.obs import EventTracer, MetricsRegistry, PhaseProfiler, observe
+from repro.__main__ import main as repro_main
+
+#: Cheap scenarios (single tiny simulation per run).
+FAST = ("baseline-dynamic", "strict-equipartition")
+
+
+def make_spec(name: str) -> CampaignSpec:
+    return CampaignSpec(
+        name=name,
+        scenarios=tuple(resolve_scenarios(FAST)),
+        seeds=2,
+        root_seed=0,
+    )
+
+
+def run_observed_campaign(root: Path, workers: int) -> Path:
+    store = ResultStore(root / f"w{workers}")
+    trace_dir = root / f"traces_w{workers}"
+    spec = make_spec("obs-itest")
+    CampaignRunner(
+        spec, store=store, collect_obs=True, trace_dir=trace_dir
+    ).run(workers=workers)
+    return store.runs_path(spec.name), trace_dir
+
+
+class TestWorkerCountInvariance:
+    def test_records_and_traces_byte_identical_at_1_and_4_workers(self, tmp_path):
+        runs_1, traces_1 = run_observed_campaign(tmp_path, workers=1)
+        runs_4, traces_4 = run_observed_campaign(tmp_path, workers=4)
+
+        assert runs_1.read_bytes() == runs_4.read_bytes()
+
+        files_1 = sorted(p.name for p in traces_1.iterdir())
+        files_4 = sorted(p.name for p in traces_4.iterdir())
+        assert files_1 == files_4 and files_1, "trace files missing or mismatched"
+        for name in files_1:
+            assert (traces_1 / name).read_bytes() == (traces_4 / name).read_bytes(), (
+                f"trace {name} differs between 1 and 4 workers"
+            )
+
+    def test_trace_files_cover_every_run(self, tmp_path):
+        _runs, traces = run_observed_campaign(tmp_path, workers=2)
+        expected = {
+            trace_filename(scenario, replicate)
+            for scenario in FAST
+            for replicate in range(2)
+        }
+        assert {p.name for p in traces.iterdir()} == expected
+
+
+class TestObsRecords:
+    def test_obs_snapshot_persisted_and_phase_timings_not(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = make_spec("obs-records")
+        CampaignRunner(spec, store=store, collect_obs=True).run(workers=1)
+        records = store.load_records(spec.name)
+        assert records
+        for record in records:
+            obs = record["obs"]
+            assert obs["engine.events_dispatched"] > 0
+            assert obs["scheduler.passes"] > 0
+            # Wall-clock phase data is non-deterministic and must never
+            # land in runs.jsonl; it travels to meta.json instead.
+            assert "_phase_seconds" not in record
+        meta = json.loads(
+            (store.campaign_dir(spec.name) / "meta.json").read_text(encoding="utf-8")
+        )
+        phases = meta["phase_seconds"]
+        assert "campaign.execute" in phases
+        assert "store.write" in phases
+
+    def test_plain_campaign_records_carry_no_obs(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = make_spec("obs-off")
+        CampaignRunner(spec, store=store).run(workers=1)
+        for record in store.load_records(spec.name):
+            assert "obs" not in record
+
+
+class TestObservationNeutrality:
+    @pytest.mark.parametrize("scenario_name", ["fig9", "fig10"])
+    def test_live_instruments_change_no_simulation_metric(self, scenario_name):
+        (spec,) = resolve_scenarios([scenario_name])
+        runner = get_runner(spec.runner)
+
+        consume_provenance()
+        plain = dict(runner(spec, 7))
+        consume_provenance()
+        with observe(
+            tracer=EventTracer(), metrics=MetricsRegistry(), profiler=PhaseProfiler()
+        ):
+            observed = dict(runner(spec, 7))
+        consume_provenance()
+
+        assert plain == observed
+
+
+class TestObsCli:
+    def export(self, tmp_path, fmt: str, seed: int = 1, name: str = "t") -> Path:
+        out = tmp_path / f"{name}.{fmt}"
+        code = repro_main([
+            "obs", "export",
+            "--scenario", "baseline-dynamic",
+            "--seed", str(seed),
+            "--format", fmt,
+            "--out", str(out),
+        ])
+        assert code == 0
+        return out
+
+    def test_export_writes_valid_chrome_trace(self, tmp_path):
+        out = self.export(tmp_path, "chrome")
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert doc["traceEvents"], "empty trace"
+        assert doc["otherData"]["event_count"] > 0
+        assert doc["otherData"]["dropped_events"] == 0
+
+    def test_export_repeats_byte_identically(self, tmp_path):
+        first = self.export(tmp_path, "jsonl", name="a")
+        second = self.export(tmp_path, "jsonl", name="b")
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_diff_exit_codes(self, tmp_path, capsys):
+        same_a = self.export(tmp_path, "jsonl", seed=1, name="a")
+        same_b = self.export(tmp_path, "jsonl", seed=1, name="b")
+        other = self.export(tmp_path, "jsonl", seed=2, name="c")
+
+        assert repro_main(["obs", "diff", str(same_a), str(same_b)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+        assert repro_main(["obs", "diff", str(same_a), str(other)]) == 1
+        assert "diverge" in capsys.readouterr().out
+
+        assert repro_main(["obs", "diff", str(same_a), str(tmp_path / "nope")]) == 2
+
+    def test_summarize_prints_event_breakdown(self, capsys):
+        assert repro_main(
+            ["obs", "summarize", "--scenario", "baseline-dynamic", "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trace events" in out
+        assert "engine" in out and "dispatch" in out
+
+    def test_export_unknown_scenario_fails_cleanly(self, capsys):
+        assert repro_main(["obs", "export", "--scenario", "figZZ"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestBenchSmoke:
+    def test_engine_overhead_bench_shape(self):
+        from repro.obs.bench import bench_engine_overhead
+
+        result = bench_engine_overhead(events=2_000, repeats=1)
+        assert result["engine_events_per_second"] > 0
+        assert "tracing_disabled_overhead_pct" in result
+
+    def test_trace_ingest_bench_shape(self):
+        from repro.obs.bench import bench_trace_ingest
+
+        result = bench_trace_ingest(jobs=1_000, repeats=1)
+        assert result["trace_ingest_jobs_per_second"] > 0

@@ -1,0 +1,68 @@
+"""Regenerate the golden trace digest under ``tests/data/golden_obs/``.
+
+The digest pins the **byte-exact** JSONL trace export of the fig9 scenario
+at its canonical campaign seed: event count, per-(category, name) counts,
+the first few JSONL lines verbatim, and the SHA-256 of the full export.
+``tests/regression/test_obs_golden.py`` re-runs the scenario under the
+tracer and compares -- the trace stream is required to be deterministic, so
+any drift is a real behaviour change in the engine, the scheduler or the
+instrumentation, and must come with a regenerated fixture and an
+explanation in the commit that carries it.
+
+Run ONLY after verifying a change is intentional::
+
+    PYTHONPATH=src python tests/regression/generate_obs_golden.py
+"""
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.campaign import builtin  # noqa: F401  (registers the scenarios)
+from repro.campaign.registry import builtin_scenarios, consume_provenance, get_runner
+from repro.obs import EventTracer, observe
+from repro.sim.randomness import derive_seed
+
+#: The traced scenario and the number of verbatim head lines pinned.
+TRACED_SCENARIO = "fig9"
+HEAD_LINES = 5
+
+GOLDEN_OBS_DIR = Path(__file__).resolve().parent.parent / "data" / "golden_obs"
+
+
+def golden_trace_digest(name: str = TRACED_SCENARIO) -> dict:
+    """Run one scenario under the tracer and digest its JSONL export."""
+    spec = builtin_scenarios()[name]
+    seed = derive_seed(0, name, 0)
+    tracer = EventTracer()
+    consume_provenance()
+    with observe(tracer=tracer):
+        get_runner(spec.runner)(spec, seed)
+    consume_provenance()
+    text = tracer.to_jsonl()
+    return {
+        "scenario": name,
+        "seed": seed,
+        "event_count": len(tracer),
+        "count_by": {
+            f"{cat}/{event}": count
+            for (cat, event), count in sorted(tracer.count_by().items())
+        },
+        "head": text.splitlines()[:HEAD_LINES],
+        "sha256": hashlib.sha256(text.encode("utf-8")).hexdigest(),
+    }
+
+
+def main() -> None:
+    GOLDEN_OBS_DIR.mkdir(parents=True, exist_ok=True)
+    digest = golden_trace_digest()
+    path = GOLDEN_OBS_DIR / f"{TRACED_SCENARIO}_trace.json"
+    path.write_text(
+        json.dumps(digest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {path} ({digest['event_count']} events, sha {digest['sha256'][:12]})")
+
+
+if __name__ == "__main__":
+    main()

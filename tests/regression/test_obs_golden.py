@@ -1,0 +1,43 @@
+"""Golden regression of the deterministic trace export.
+
+The fixture under ``tests/data/golden_obs/`` pins the byte-exact JSONL
+trace of the fig9 scenario at its canonical campaign seed (see
+``generate_obs_golden.py``).  A drifting digest means the engine's event
+order, the scheduler's decisions or the instrumentation itself changed --
+all of which invalidate recorded traces and must be explicit.
+"""
+from __future__ import annotations
+
+import json
+
+from tests.regression.generate_obs_golden import (
+    GOLDEN_OBS_DIR,
+    TRACED_SCENARIO,
+    golden_trace_digest,
+)
+
+
+def load_fixture() -> dict:
+    path = GOLDEN_OBS_DIR / f"{TRACED_SCENARIO}_trace.json"
+    assert path.is_file(), (
+        f"missing golden trace fixture {path}; run "
+        "'PYTHONPATH=src python tests/regression/generate_obs_golden.py'"
+    )
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def test_trace_export_matches_golden_digest() -> None:
+    fixture = load_fixture()
+    fresh = golden_trace_digest()
+
+    assert fresh["seed"] == fixture["seed"], "seed derivation changed"
+    assert fresh["event_count"] == fixture["event_count"]
+    assert fresh["count_by"] == fixture["count_by"], (
+        "per-event-type counts drifted; the instrumentation or the "
+        "simulation behaviour changed"
+    )
+    assert fresh["head"] == fixture["head"], "leading trace events changed"
+    assert fresh["sha256"] == fixture["sha256"], (
+        "trace bytes drifted despite identical counts -- event ordering or "
+        "argument values changed"
+    )

@@ -12,6 +12,7 @@ from repro.metrics import (
     format_percent,
     format_series,
     format_table,
+    median_summary,
     summarize_runs,
 )
 from repro.models import WorkingSetEvolution
@@ -105,3 +106,68 @@ class TestSummarizeRuns:
 
     def test_empty_input(self):
         assert summarize_runs([]) == {}
+
+    def make_unfinished(self, waste):
+        """An unfinished AMR: NaN end time, zero-length (empty) capacity."""
+        return SimulationMetrics(
+            horizon=0.0,
+            capacity_node_seconds=0.0,
+            amr_used_node_seconds=0.0,
+            amr_end_time=float("nan"),
+            psa_waste_node_seconds=waste,
+            psa_completed_node_seconds=0.0,
+            total_allocated_node_seconds=0.0,
+        )
+
+    def test_nan_samples_dropped_per_key(self):
+        runs = [self.make(10.0), self.make_unfinished(30.0), self.make(20.0)]
+        summary = summarize_runs(runs)
+        # The NaN end time is dropped for amr_end_time only; the run's
+        # finite waste sample still participates in the waste median.
+        assert summary["amr_end_time"] == pytest.approx(100.0)
+        assert summary["psa_waste_node_seconds"] == pytest.approx(20.0)
+
+    def test_key_with_no_finite_sample_is_omitted(self):
+        summary = summarize_runs([self.make_unfinished(5.0)])
+        assert "amr_end_time" not in summary
+        assert summary["psa_waste_node_seconds"] == pytest.approx(5.0)
+
+    def test_summary_is_nan_free(self):
+        runs = [self.make(10.0), self.make_unfinished(30.0)]
+        assert all(np.isfinite(v) for v in summarize_runs(runs).values())
+
+
+class TestZeroLengthWindow:
+    def make(self, capacity):
+        return SimulationMetrics(
+            horizon=0.0,
+            capacity_node_seconds=capacity,
+            amr_used_node_seconds=0.0,
+            amr_end_time=0.0,
+            psa_waste_node_seconds=50.0,
+            psa_completed_node_seconds=0.0,
+            total_allocated_node_seconds=100.0,
+        )
+
+    @pytest.mark.parametrize("capacity", [0.0, -1.0, float("nan"), float("inf")])
+    def test_degenerate_capacity_yields_zero_percent(self, capacity):
+        metrics = self.make(capacity)
+        assert metrics.psa_waste_percent == 0.0
+        assert metrics.used_resources_percent == 0.0
+
+
+class TestMedianSummary:
+    def test_empty_input(self):
+        assert median_summary([]) == {}
+
+    def test_skips_non_numeric_and_non_finite(self):
+        records = [
+            {"x": 1.0, "label": "a", "flag": True, "bad": float("nan")},
+            {"x": 3.0, "label": "b", "flag": False, "bad": float("inf")},
+        ]
+        summary = median_summary(records)
+        assert summary == {"x": 2.0}
+
+    def test_missing_keys_skipped_per_record(self):
+        summary = median_summary([{"x": 1.0}, {"x": 3.0, "y": 7.0}])
+        assert summary == {"x": 2.0, "y": 7.0}

@@ -1,0 +1,249 @@
+"""Unit tests of the observability building blocks (``repro.obs``)."""
+from __future__ import annotations
+
+import io
+import json
+import logging
+import math
+
+import pytest
+
+from repro.obs import (
+    METRICS,
+    PROFILER,
+    TRACER,
+    EventTracer,
+    Histogram,
+    MetricsRegistry,
+    PhaseProfiler,
+    TraceEvent,
+    diff_events,
+    get_logger,
+    load_jsonl,
+    logging_setup,
+    observation_enabled,
+    observe,
+)
+
+
+class TestHooks:
+    def test_disabled_by_default(self):
+        assert TRACER[0] is None
+        assert METRICS[0] is None
+        assert PROFILER[0] is None
+        assert not observation_enabled()
+
+    def test_observe_installs_and_restores(self):
+        tracer = EventTracer()
+        with observe(tracer=tracer):
+            assert TRACER[0] is tracer
+            assert observation_enabled()
+        assert TRACER[0] is None
+        assert not observation_enabled()
+
+    def test_observe_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with observe(metrics=MetricsRegistry()):
+                raise RuntimeError("boom")
+        assert METRICS[0] is None
+
+    def test_observe_nests(self):
+        outer, inner = EventTracer(), EventTracer()
+        with observe(tracer=outer):
+            with observe(tracer=inner):
+                assert TRACER[0] is inner
+            assert TRACER[0] is outer
+
+
+class TestEventTracer:
+    def test_emit_orders_and_counts(self):
+        tracer = EventTracer()
+        tracer.emit(1.0, "engine", "dispatch", {"callback": "f"})
+        tracer.emit(1.0, "scheduler", "fit", {"app": "a"})
+        tracer.counter(2.0, "scheduler", "queue_depth", {"apps": 3})
+        assert len(tracer) == 3
+        assert tracer.categories() == ("engine", "scheduler")
+        assert tracer.count_by()[("scheduler", "fit")] == 1
+        assert tracer.of("scheduler", "queue_depth")[0].ph == "C"
+        assert [e.seq for e in tracer.events] == [0, 1, 2]
+
+    def test_jsonl_round_trip(self):
+        tracer = EventTracer()
+        tracer.emit(0.5, "engine", "dispatch", {"callback": "x", "event_seq": 7})
+        tracer.emit(1.5, "federation", "route", {"app": "a", "cluster": "east"})
+        text = tracer.to_jsonl()
+        events = load_jsonl(text)
+        assert events == tracer.events
+
+    def test_jsonl_is_deterministic_bytes(self):
+        def build() -> str:
+            tracer = EventTracer()
+            tracer.emit(0.25, "b_cat", "n", {"z": 1, "a": 2})
+            tracer.emit(0.25, "a_cat", "n", {"k": "v"})
+            return tracer.to_jsonl()
+
+        assert build() == build()
+
+    def test_max_events_truncates_explicitly(self):
+        tracer = EventTracer(max_events=2)
+        for i in range(5):
+            tracer.emit(float(i), "c", "n")
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+        lines = tracer.to_jsonl().splitlines()
+        assert json.loads(lines[-1]) == {"truncated": True, "dropped_events": 3}
+        # The truncation marker must not round-trip as an event.
+        assert len(load_jsonl(tracer.to_jsonl())) == 2
+
+    def test_chrome_export_structure(self):
+        tracer = EventTracer()
+        tracer.emit(1.0, "engine", "dispatch", {"callback": "f"})
+        tracer.counter(2.0, "scheduler", "queue_depth", {"apps": 1})
+        doc = json.loads(tracer.to_chrome(label="test"))
+        events = doc["traceEvents"]
+        names = [e["name"] for e in events]
+        assert "process_name" in names and "thread_name" in names
+        instant = next(e for e in events if e["name"] == "dispatch")
+        assert instant["ph"] == "i" and instant["s"] == "t"
+        assert instant["ts"] == 1_000_000.0  # seconds -> microseconds
+        counter = next(e for e in events if e["name"] == "queue_depth")
+        assert counter["ph"] == "C"
+        # Categories map to stable tids in sorted-category order.
+        assert instant["tid"] == 1 and counter["tid"] == 2
+        assert doc["otherData"]["event_count"] == 2
+
+    def test_empty_tracer_exports(self):
+        tracer = EventTracer()
+        assert tracer.to_jsonl() == ""
+        doc = json.loads(tracer.to_chrome())
+        assert doc["otherData"]["event_count"] == 0
+
+    def test_diff_identical(self):
+        a = [TraceEvent(0.0, 0, "c", "n")]
+        assert diff_events(a, list(a)) == []
+
+    def test_diff_pinpoints_divergence(self):
+        a = [TraceEvent(0.0, 0, "c", "n"), TraceEvent(1.0, 1, "c", "n", args={"x": 1})]
+        b = [TraceEvent(0.0, 0, "c", "n"), TraceEvent(1.0, 1, "c", "n", args={"x": 2})]
+        lines = diff_events(a, b)
+        assert lines and "diverge at event 1" in lines[0]
+
+    def test_diff_length_mismatch(self):
+        a = [TraceEvent(0.0, 0, "c", "n")]
+        lines = diff_events(a, a + [TraceEvent(1.0, 1, "c", "n")])
+        assert lines == [
+            "streams are identical for 1 events, then lengths differ: 1 vs 2"
+        ]
+
+
+class TestMetricsRegistry:
+    def test_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.inc("a.b")
+        registry.inc("a.b", 2.0)
+        registry.gauge("g", 5.0)
+        registry.gauge("g", 7.0)
+        assert registry.counter("a.b") == 3.0
+        assert registry.counter("missing") == 0.0
+        snapshot = registry.snapshot()
+        assert snapshot["a.b"] == 3.0 and snapshot["g"] == 7.0
+
+    def test_histogram_flattening(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 3.0, 5.0):
+            registry.observe("depth", value)
+        snapshot = registry.snapshot()
+        assert snapshot["depth.count"] == 3.0
+        assert snapshot["depth.sum"] == 9.0
+        assert snapshot["depth.mean"] == 3.0
+        assert snapshot["depth.min"] == 1.0
+        assert snapshot["depth.max"] == 5.0
+        assert registry.histogram("depth").bucket_counts() == {
+            "le=1": 1, "le=4": 1, "le=8": 1,
+        }
+
+    def test_snapshot_is_sorted_and_json_safe(self):
+        registry = MetricsRegistry()
+        registry.inc("z")
+        registry.observe("a", 2.0)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == sorted(snapshot)
+        json.dumps(snapshot, allow_nan=False)  # must not raise
+
+    def test_empty_histogram_has_no_infinite_keys(self):
+        hist = Histogram()
+        assert hist.mean == 0.0
+        assert math.isinf(hist.min)  # internal sentinel ...
+        registry = MetricsRegistry()
+        registry._histograms["h"] = hist
+        snapshot = registry.snapshot()
+        assert "h.min" not in snapshot and "h.max" not in snapshot  # ... never exported
+
+    def test_unknown_histogram_raises_with_known_names(self):
+        registry = MetricsRegistry()
+        registry.observe("known", 1.0)
+        with pytest.raises(KeyError, match="known"):
+            registry.histogram("nope")
+
+    def test_rows_match_snapshot(self):
+        registry = MetricsRegistry()
+        registry.inc("x", 4.0)
+        assert registry.rows() == [("x", 4.0)]
+
+
+class TestPhaseProfiler:
+    def test_add_and_snapshot(self):
+        profiler = PhaseProfiler()
+        profiler.add("p", 0.5)
+        profiler.add("p", 1.5)
+        snapshot = profiler.snapshot()
+        assert snapshot["p"]["seconds"] == 2.0
+        assert snapshot["p"]["count"] == 2.0
+        assert snapshot["p"]["mean_us"] == pytest.approx(1e6)
+
+    def test_phase_context_manager_times(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("work"):
+            pass
+        assert profiler.count("work") == 1
+        assert profiler.seconds("work") >= 0.0
+
+    def test_merge_aggregates_worker_snapshots(self):
+        worker = PhaseProfiler()
+        worker.add("scheduler.pass", 0.2, count=4)
+        parent = PhaseProfiler()
+        parent.add("scheduler.pass", 0.1, count=1)
+        parent.merge(worker.snapshot())
+        assert parent.seconds("scheduler.pass") == pytest.approx(0.3)
+        assert parent.count("scheduler.pass") == 5
+
+
+class TestLoggingSetup:
+    def test_levels(self):
+        logger = logging_setup()
+        assert logger.level == logging.INFO
+        assert logging_setup(verbose=True).level == logging.DEBUG
+        assert logging_setup(quiet=True).level == logging.WARNING
+
+    def test_idempotent_no_handler_stacking(self):
+        first = logging_setup()
+        count = len(first.handlers)
+        for _ in range(3):
+            logging_setup(verbose=True)
+        assert len(first.handlers) == count
+
+    def test_group_logger_routes_through_shared_handler(self):
+        stream = io.StringIO()
+        logging_setup(stream=stream)
+        get_logger("campaign").info("hello from the campaign group")
+        assert "hello from the campaign group" in stream.getvalue()
+
+    def test_quiet_silences_narration_keeps_warnings(self):
+        stream = io.StringIO()
+        logging_setup(quiet=True, stream=stream)
+        log = get_logger("trace")
+        log.info("narration")
+        log.warning("problem")
+        output = stream.getvalue()
+        assert "narration" not in output
+        assert "problem" in output
