@@ -52,8 +52,9 @@ def test_scheduling_pass_throughput(benchmark, num_apps, requests_per_app):
         )
     )
     assert result.non_preemptive_views
-    # Even the largest configuration must beat the paper's 500 req/s figure.
-    assert throughput > 500
+    # Even the largest configuration must beat 10x the paper's 500 req/s
+    # figure; the issue-7 kernel overhaul runs well clear of this floor.
+    assert throughput > 5_000
 
 
 @pytest.mark.parametrize("policy", policy_names())
@@ -62,7 +63,7 @@ def test_policy_pass_throughput(benchmark, policy):
 
     Every policy swaps at most one stage of the default composition, so no
     policy may cost more than a small constant factor over Algorithm 4; the
-    floor is the paper's 500 req/s figure, which even 2011 hardware beat.
+    floor is 10x the paper's 500 req/s figure, which even 2011 hardware beat.
     """
     scheduler = Scheduler({"c0": 4096}, policy=policy)
     usage = {f"app{i}": float(i) * 1e4 for i in range(8)}
@@ -83,4 +84,4 @@ def test_policy_pass_throughput(benchmark, policy):
         )
     )
     assert result.non_preemptive_views
-    assert throughput > 500, f"policy {policy} fell below the 500 req/s floor"
+    assert throughput > 5_000, f"policy {policy} fell below the 5,000 req/s floor"

@@ -96,8 +96,12 @@ class ConservativeBackfillQueue(RigidQueueMetrics):
 
     @property
     def availability(self) -> StepFunction:
-        """Current availability profile (after all reservations)."""
-        return self._availability
+        """Current availability profile (after all reservations).
+
+        A copy: the queue maintains its profile incrementally in place, so
+        the internal instance must never leak to callers.
+        """
+        return self._availability.copy()
 
     @property
     def jobs(self) -> Tuple[CbfJob, ...]:
@@ -119,7 +123,7 @@ class ConservativeBackfillQueue(RigidQueueMetrics):
             raise CapacityError(f"job {job.job_id!r} cannot be scheduled")
         job.start_time = start
         if job.node_count > 0 and job.duration > 0:
-            self._availability = self._availability.subtract_rectangle(
+            self._availability.subtract_rectangle_in_place(
                 start, job.duration, job.node_count
             )
         self._jobs.append(job)
@@ -141,7 +145,7 @@ class ConservativeBackfillQueue(RigidQueueMetrics):
         reserved_end = job.start_time + job.duration
         release_from = max(now, job.start_time)
         if release_from < reserved_end and job.node_count > 0:
-            self._availability = self._availability.add_rectangle(
+            self._availability.add_rectangle_in_place(
                 release_from, reserved_end - release_from, job.node_count
             )
         job.duration = max(0.0, release_from - job.start_time)

@@ -249,15 +249,20 @@ def partition_schedule(
     # constant beyond their last breakpoint, so so is the partition).
     per_app_caps: Dict[str, Dict[ClusterId, StepFunction]] = {a: {} for a in app_ids}
     for cid in sorted(clusters):
-        profiles = [available[cid]] + [occupation[a][cid] for a in app_ids]
+        # Profile lookups are hoisted out of the breakpoint loop: the loop
+        # body runs once per (cluster, breakpoint) pair and used to redo the
+        # view/dict indirection for every single evaluation.
+        avail_profile = available[cid]
+        occ_profiles = [occupation[a][cid] for a in app_ids]
+        profiles = [avail_profile] + occ_profiles
         breakpoints = _interval_breakpoints(profiles, horizon)
         per_app_values: Dict[str, List[float]] = {a: [] for a in app_ids}
+        floor = math.floor
+        ceil = math.ceil
         for t in breakpoints:
-            capacity = int(math.floor(available[cid].value_at(t) + 1e-9))
+            capacity = int(floor(avail_profile.value_at(t) + 1e-9))
             capacity = max(capacity, 0)
-            demands = [
-                int(math.ceil(occupation[a][cid].value_at(t) - 1e-9)) for a in app_ids
-            ]
+            demands = [int(ceil(p.value_at(t) - 1e-9)) for p in occ_profiles]
             values = partition(demands, capacity)
             for a, v in zip(app_ids, values):
                 per_app_values[a].append(float(v))

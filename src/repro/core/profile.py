@@ -22,16 +22,33 @@ requires:
 The representation is a compact list of breakpoints: ``times[i]`` is the start
 of segment ``i`` and ``values[i]`` its constant value; the last segment
 extends to ``+inf``.  ``times[0]`` is always ``0.0``.
+
+Complexity contract (the simulation hot path leans on it):
+
+* ``value_at`` / ``min_over`` / ``integrate`` are O(log n) + output size,
+  via :mod:`bisect` over the breakpoint array;
+* ``+`` / ``-`` / ``maximum`` / ``minimum`` are single-pass O(n + m) merges;
+* ``find_hole`` is a single O(n) sweep (it was O(n^2));
+* :class:`StepBuilder` accumulates many rectangles and materialises the sum
+  in one O(k log k) sweep instead of k full merges;
+* the private in-place rectangle ops let owners such as the CBF queue update
+  an availability profile without reallocating it.
+
+Exactness note: every transformation here computes segment values with the
+same floating-point operations (and, for builders, integer-valued heights) as
+the equivalent chain of immutable operations, so replacing one with the other
+never changes results -- the golden regression suite pins this.
 """
 from __future__ import annotations
 
 import math
+from bisect import bisect_left, bisect_right
 from typing import Iterable, Iterator, List, Sequence, Tuple
 
 from .errors import ProfileError
 from .types import Time
 
-__all__ = ["StepFunction"]
+__all__ = ["StepFunction", "StepBuilder"]
 
 _EPS = 1e-9
 
@@ -57,7 +74,9 @@ class StepFunction:
     """A right-continuous piecewise-constant function of time.
 
     Values are numeric (node counts in almost all uses).  Instances should be
-    treated as immutable: all arithmetic returns new objects.
+    treated as immutable: all arithmetic returns new objects.  The private
+    ``*_in_place`` helpers are the one sanctioned exception, reserved for
+    owners that never share the instance (e.g. the CBF queue's availability).
 
     Parameters
     ----------
@@ -87,13 +106,27 @@ class StepFunction:
         self._values = values
         self._compact()
 
+    @classmethod
+    def _from_compacted(
+        cls, times: List[Time], values: List[float]
+    ) -> "StepFunction":
+        """Internal fast constructor: *times*/*values* are adopted as-is.
+
+        The caller guarantees strictly increasing finite times starting at
+        0.0 and already-compacted values (no adjacent pair within ``_EPS``).
+        """
+        self = object.__new__(cls)
+        self._times = times
+        self._values = values
+        return self
+
     # ------------------------------------------------------------------ #
     # Constructors
     # ------------------------------------------------------------------ #
     @classmethod
     def constant(cls, value: float) -> "StepFunction":
         """A profile equal to *value* everywhere."""
-        return cls([0.0], [float(value)])
+        return cls._from_compacted([0.0], [float(value)])
 
     @classmethod
     def zero(cls) -> "StepFunction":
@@ -137,6 +170,10 @@ class StepFunction:
         if start == 0:
             return cls([0.0, float(duration)], [float(height), 0.0])
         return cls([0.0, float(start), float(start + duration)], [0.0, float(height), 0.0])
+
+    def copy(self) -> "StepFunction":
+        """An independent copy (snapshot of an in-place-updated profile)."""
+        return StepFunction._from_compacted(list(self._times), list(self._values))
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -200,15 +237,7 @@ class StepFunction:
         """Value at time *t*; times before 0 evaluate as 0."""
         if t < 0:
             return 0.0
-        # binary search for the last breakpoint <= t
-        lo, hi = 0, len(self._times) - 1
-        while lo < hi:
-            mid = (lo + hi + 1) // 2
-            if self._times[mid] <= t:
-                lo = mid
-            else:
-                hi = mid - 1
-        return self._values[lo]
+        return self._values[bisect_right(self._times, t) - 1]
 
     def min_over(self, start: Time, end: Time) -> float:
         """Minimum value over ``[start, end)``.
@@ -217,10 +246,23 @@ class StepFunction:
         """
         if end <= start:
             return self.value_at(start)
-        best = self.value_at(start)
-        for t, v in zip(self._times, self._values):
-            if start < t < end:
-                best = min(best, v)
+        times = self._times
+        # Segments covering [start, end): the one containing start plus every
+        # breakpoint strictly inside the window.
+        lo = bisect_right(times, start) - 1
+        hi = bisect_left(times, end, lo + 1)
+        if lo < 0:
+            # start < 0 evaluates as 0, like value_at.
+            best = 0.0
+            lo = 0
+        else:
+            best = self._values[lo]
+            lo += 1
+        values = self._values
+        for i in range(lo, hi):
+            v = values[i]
+            if v < best:
+                best = v
         return best
 
     def integrate(self, start: Time = 0.0, end: Time = math.inf) -> float:
@@ -231,12 +273,21 @@ class StepFunction:
         """
         if end <= start:
             return 0.0
+        times, values = self._times, self._values
+        n = len(times)
+        # First segment overlapping [start, end) and first segment at/after end.
+        first = max(bisect_right(times, start) - 1, 0)
         total = 0.0
-        for seg_start, seg_end, value in self.segments():
-            lo = max(seg_start, start)
-            hi = min(seg_end, end)
+        for i in range(first, n):
+            seg_start = times[i]
+            seg_end = times[i + 1] if i + 1 < n else math.inf
+            lo = seg_start if seg_start > start else start
+            hi = seg_end if seg_end < end else end
             if hi <= lo:
+                if seg_start >= end:
+                    break
                 continue
+            value = values[i]
             if math.isinf(hi):
                 if abs(value) < _EPS:
                     continue
@@ -248,9 +299,38 @@ class StepFunction:
     # Algebra
     # ------------------------------------------------------------------ #
     def _combine(self, other: "StepFunction", op) -> "StepFunction":
-        times = _merge_breakpoints(self, other)
-        values = [op(self.value_at(t), other.value_at(t)) for t in times]
-        return StepFunction(times, values)
+        """Single-pass merge: O(n + m), no intermediate point evaluations."""
+        ta, va = self._times, self._values
+        tb, vb = other._times, other._values
+        na, nb = len(ta), len(tb)
+        times: List[Time] = []
+        values: List[float] = []
+        append_t = times.append
+        append_v = values.append
+        ia = ib = 0
+        cur_a = va[0]
+        cur_b = vb[0]
+        last_v = None
+        while ia < na or ib < nb:
+            if ib >= nb or (ia < na and ta[ia] <= tb[ib]):
+                t = ta[ia]
+            else:
+                t = tb[ib]
+            if ia < na and ta[ia] == t:
+                cur_a = va[ia]
+                ia += 1
+            if ib < nb and tb[ib] == t:
+                cur_b = vb[ib]
+                ib += 1
+            v = op(cur_a, cur_b)
+            # Inline compaction, identical to _compact: keep the first value
+            # of every eps-equal run.
+            if last_v is not None and abs(v - last_v) < _EPS:
+                continue
+            append_t(t)
+            append_v(v)
+            last_v = v
+        return StepFunction._from_compacted(times, values)
 
     def __add__(self, other: "StepFunction") -> "StepFunction":
         return self._combine(other, lambda a, b: a + b)
@@ -297,6 +377,63 @@ class StepFunction:
         return StepFunction(list(self._times), [math.floor(v + _EPS) for v in self._values])
 
     # ------------------------------------------------------------------ #
+    # In-place updates (owners only -- see the class docstring)
+    # ------------------------------------------------------------------ #
+    def add_rectangle_in_place(self, start: Time, duration: Time, height: float) -> None:
+        """Mutate this profile: add a rectangle without reallocating.
+
+        Produces exactly the state :meth:`add_rectangle` would return, but in
+        O(log n + segments touched) with no intermediate profiles.  Reserved
+        for sole owners of the instance (incremental availability tracking);
+        sharing a mutated profile breaks the immutability convention every
+        other caller relies on.
+        """
+        if duration <= 0 or height == 0:
+            return
+        if start < 0:
+            raise ProfileError("start must be non-negative")
+        times, values = self._times, self._values
+
+        # Ensure a breakpoint at `start`; remember the first affected index.
+        i = bisect_right(times, start)
+        if times[i - 1] == start:
+            start_idx = i - 1
+        else:
+            times.insert(i, float(start))
+            values.insert(i, values[i - 1])
+            start_idx = i
+
+        if math.isinf(duration):
+            end_idx = len(times)
+        else:
+            end = start + duration
+            j = bisect_right(times, end, start_idx)
+            if times[j - 1] == end:
+                end_idx = j - 1
+            else:
+                times.insert(j, float(end))
+                values.insert(j, values[j - 1])
+                end_idx = j
+
+        for k in range(start_idx, end_idx):
+            values[k] += height
+
+        # Only the two junctions can have become eps-equal: interior
+        # neighbours moved by the same height, exterior ones did not move.
+        # Check the right junction first so the left-junction indices stay
+        # valid after a potential deletion.
+        if 0 < end_idx < len(times) and abs(values[end_idx] - values[end_idx - 1]) < _EPS:
+            del times[end_idx]
+            del values[end_idx]
+        if 0 < start_idx and abs(values[start_idx] - values[start_idx - 1]) < _EPS:
+            del times[start_idx]
+            del values[start_idx]
+
+    def subtract_rectangle_in_place(self, start: Time, duration: Time, height: float) -> None:
+        """Mutate this profile: subtract a rectangle (see :meth:`add_rectangle_in_place`)."""
+        self.add_rectangle_in_place(start, duration, -height)
+
+    # ------------------------------------------------------------------ #
     # Scheduling primitives
     # ------------------------------------------------------------------ #
     def find_hole(self, n: float, duration: Time, earliest: Time = 0.0) -> Time:
@@ -306,33 +443,50 @@ class StepFunction:
         This is the paper's ``findHole`` restricted to one cluster.  Returns
         ``math.inf`` if no such time exists (the request "never" starts).
         A zero-node or zero-duration request fits at *earliest* immediately.
+
+        Single left-to-right sweep over the segments: a candidate start is
+        only ever abandoned for the next segment that satisfies the node
+        requirement, so every segment is visited at most once.
         """
         if n <= 0 or duration <= 0:
             return max(0.0, earliest)
         earliest = max(0.0, earliest)
+        times, values = self._times, self._values
+        m = len(times)
+        need = n - _EPS
+
         if math.isinf(duration):
-            # Need the profile to stay >= n forever starting at t.
-            candidates = [earliest] + [t for t in self._times if t > earliest]
-            for t in candidates:
-                idx = self._segment_index(t)
-                if all(v >= n - _EPS for v in self._values[idx:]):
-                    return t
-            return math.inf
-        candidates = [earliest] + [t for t in self._times if t > earliest]
-        for t in candidates:
-            if self.min_over(t, t + duration) >= n - _EPS:
+            # The profile must stay >= n forever starting at t: find the
+            # start of the last all-satisfying suffix of segments.
+            if values[-1] < need:
+                return math.inf
+            idx = m
+            while idx > 0 and values[idx - 1] >= need:
+                idx -= 1
+            if idx == 0:
+                return earliest
+            return max(earliest, times[idx])
+
+        t = earliest
+        i = bisect_right(times, t) - 1  # segment containing the candidate
+        while True:
+            if values[i] < need:
+                # The window starting at any time in this segment is blocked;
+                # advance to the next segment that satisfies the requirement.
+                i += 1
+                while i < m and values[i] < need:
+                    i += 1
+                if i >= m:
+                    return math.inf
+                t = times[i]
+                continue
+            seg_end = times[i + 1] if i + 1 < m else math.inf
+            if seg_end >= t + duration:
                 return t
-        return math.inf
+            i += 1
 
     def _segment_index(self, t: Time) -> int:
-        lo, hi = 0, len(self._times) - 1
-        while lo < hi:
-            mid = (lo + hi + 1) // 2
-            if self._times[mid] <= t:
-                lo = mid
-            else:
-                hi = mid - 1
-        return lo
+        return max(bisect_right(self._times, t) - 1, 0)
 
     def alloc_limit(self, start: Time, duration: Time, requested: float) -> float:
         """How many nodes can be granted on ``[start, start+duration)``.
@@ -374,3 +528,69 @@ class StepFunction:
                 break
             pairs.append((min(end, horizon) - start, value))
         return pairs
+
+
+class StepBuilder:
+    """Accumulate rectangles and materialise their sum as one profile.
+
+    Replaces chains of ``profile = profile.add_rectangle(...)`` (each a full
+    merge allocating a new profile) with one delta sweep: O(k log k) for k
+    rectangles instead of O(k^2).  With integer-valued heights -- node counts
+    everywhere in the scheduler -- the result is bit-identical to the
+    sequential chain, which the profile-equivalence property tests pin.
+    """
+
+    __slots__ = ("_deltas",)
+
+    def __init__(self) -> None:
+        # time -> accumulated height delta at that breakpoint; rectangles of
+        # infinite duration contribute a start delta only.
+        self._deltas: dict = {}
+
+    def add_rectangle(self, start: Time, duration: Time, height: float) -> None:
+        """Add a rectangle of *height* on ``[start, start + duration)``."""
+        if duration <= 0 or height == 0:
+            return
+        start = float(start)
+        deltas = self._deltas
+        deltas[start] = deltas.get(start, 0.0) + height
+        if math.isinf(duration):
+            return
+        end = float(start + duration)
+        deltas[end] = deltas.get(end, 0.0) - height
+
+    def is_empty(self) -> bool:
+        """True when no rectangle has been added."""
+        return not self._deltas
+
+    def build(self) -> StepFunction:
+        """The sum of every added rectangle, as an immutable profile."""
+        if not self._deltas:
+            return _SHARED_ZERO
+        times: List[Time] = [0.0]
+        values: List[float] = []
+        level = 0.0
+        last_kept = None
+        for t in sorted(self._deltas):
+            level += self._deltas[t]
+            if t == 0.0:
+                continue
+            if last_kept is None:
+                # First breakpoint after 0: the value on [0, t) is whatever
+                # the deltas at 0 accumulated (0 if none).
+                base = level - self._deltas[t]
+                values.append(base)
+                last_kept = base
+            if abs(level - last_kept) < _EPS:
+                continue
+            times.append(t)
+            values.append(level)
+            last_kept = level
+        if last_kept is None:
+            # Only deltas at t=0 (infinite rectangles starting at 0).
+            values.append(level)
+        return StepFunction._from_compacted(times, values)
+
+
+#: Shared zero profile: safe because profiles are immutable by convention.
+_SHARED_ZERO = StepFunction.zero()

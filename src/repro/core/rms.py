@@ -463,13 +463,14 @@ class CooRMv2:
 
         # Drop finished requests that no unfinished request depends on, so
         # long-running applications (which update thousands of times) keep
-        # the scheduling cost proportional to their *live* requests.
-        for session in self.connected_sessions():
+        # the scheduling cost proportional to their *live* requests.  The
+        # session list is computed once here; the view-push loop below takes
+        # a fresh one because start callbacks may disconnect sessions.
+        sessions = self.connected_sessions()
+        for session in sessions:
             session.requests.prune_finished()
 
-        applications = {
-            session.app_id: session.requests for session in self.connected_sessions()
-        }
+        applications = {session.app_id: session.requests for session in sessions}
         if not applications:
             return
         # Usage-aware queue orderings (fair-share) consult the accountant;
@@ -508,9 +509,11 @@ class CooRMv2:
             self.simulator.schedule(self.rescheduling_interval, self._trigger_schedule)
 
         # Push views that changed.
+        default_cid = self.platform.default_cluster_id()
+        empty_view = View.empty()
         for session in self.connected_sessions():
-            non_preemptive = result.non_preemptive_views.get(session.app_id, View.empty())
-            preemptive = result.preemptive_views.get(session.app_id, View.empty())
+            non_preemptive = result.non_preemptive_views.get(session.app_id, empty_view)
+            preemptive = result.preemptive_views.get(session.app_id, empty_view)
             if session.views_changed(non_preemptive, preemptive):
                 session.remember_views(non_preemptive, preemptive)
                 if metrics is not None:
@@ -519,12 +522,8 @@ class CooRMv2:
                     ViewsPushed(
                         self.now,
                         session.app_id,
-                        non_preemptive_total=non_preemptive[
-                            self.platform.default_cluster_id()
-                        ].value_at(self.now),
-                        preemptive_total=preemptive[
-                            self.platform.default_cluster_id()
-                        ].value_at(self.now),
+                        non_preemptive_total=non_preemptive[default_cid].value_at(self.now),
+                        preemptive_total=preemptive[default_cid].value_at(self.now),
                     )
                 )
                 session.application.on_views(non_preemptive, preemptive)

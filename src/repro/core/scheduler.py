@@ -138,11 +138,14 @@ class Scheduler:
                 f"{STRICT_POLICY!r}"
             )
         self.strict_equipartition = self.policy.sharing.name == "strict-eq"
+        # Views are immutable, so the full-platform view is built once and
+        # handed out on every pass (it used to be rebuilt twice per pass).
+        self._full_view = View.constant(self.capacity)
 
     # ------------------------------------------------------------------ #
     def full_view(self) -> View:
         """A view offering every node of every cluster forever."""
-        return View.constant(self.capacity)
+        return self._full_view
 
     def schedule(
         self,

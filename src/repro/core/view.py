@@ -17,10 +17,15 @@ import math
 from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
 
 from .errors import ViewError
-from .profile import StepFunction
+from .profile import StepBuilder, StepFunction
 from .types import ClusterId, Time
 
-__all__ = ["View"]
+__all__ = ["View", "ViewBuilder"]
+
+#: Shared zero profile handed out for absent clusters.  Profiles are
+#: immutable by convention, so one instance can safely back every miss --
+#: this keeps the (very hot) ``view[cid]`` lookup allocation-free.
+_ZERO = StepFunction.zero()
 
 
 class View:
@@ -70,7 +75,7 @@ class View:
 
     def __getitem__(self, cid: ClusterId) -> StepFunction:
         """Profile of cluster *cid*; absent clusters are the zero profile."""
-        return self._caps.get(cid, StepFunction.zero())
+        return self._caps.get(cid, _ZERO)
 
     def __contains__(self, cid: ClusterId) -> bool:
         return cid in self._caps
@@ -186,3 +191,39 @@ class View:
     def to_duration_pairs(self, horizon: Time) -> Dict[ClusterId, list]:
         """Export every cluster profile in the paper's duration-pair form."""
         return {cid: cap.to_duration_pairs(horizon) for cid, cap in self.items()}
+
+
+class ViewBuilder:
+    """Accumulate per-cluster rectangles and build the occupation view once.
+
+    The scheduling primitives (``fit``, ``toView``) used to grow their result
+    views one ``add_rectangle`` at a time -- a full profile merge and two
+    allocations per request.  The builder defers to one
+    :class:`~repro.core.profile.StepBuilder` sweep per cluster, which is
+    result-identical for the integer node counts the scheduler places (see
+    the exactness note in :mod:`repro.core.profile`).
+    """
+
+    __slots__ = ("_builders",)
+
+    def __init__(self) -> None:
+        self._builders: Dict[ClusterId, StepBuilder] = {}
+
+    def add_rectangle(
+        self, cid: ClusterId, start: Time, duration: Time, height: float
+    ) -> None:
+        """Add a rectangle of *height* on ``[start, start + duration)`` to *cid*."""
+        builder = self._builders.get(cid)
+        if builder is None:
+            builder = self._builders[cid] = StepBuilder()
+        builder.add_rectangle(start, duration, height)
+
+    def build(self) -> View:
+        """The accumulated occupation as an immutable :class:`View`."""
+        return View(
+            {
+                cid: builder.build()
+                for cid, builder in self._builders.items()
+                if not builder.is_empty()
+            }
+        )

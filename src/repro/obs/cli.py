@@ -6,7 +6,7 @@ Commands::
     python -m repro obs export --scenario fig9 --seed 1 --format jsonl --out t.jsonl
     python -m repro obs summarize --scenario fig9 --seed 1
     python -m repro obs diff a.trace.jsonl b.trace.jsonl
-    python -m repro obs bench --output BENCH_6.json
+    python -m repro obs bench --output BENCH_7.json
 
 ``export`` runs one scenario under the event tracer and writes the trace as
 Chrome ``trace_event`` JSON (open it in ``chrome://tracing`` or Perfetto) or
@@ -14,7 +14,7 @@ canonical JSONL.  ``summarize`` prints the event and metric breakdown of one
 run.  ``diff`` compares two JSONL traces and pinpoints the first divergence
 -- the exports are deterministic, so any difference is a real behavioural
 difference.  ``bench`` runs the observability benchmark suite and writes the
-``BENCH_6.json`` perf snapshot CI archives.
+``BENCH_7.json`` perf snapshot CI archives.
 """
 from __future__ import annotations
 
@@ -72,7 +72,7 @@ def add_obs_commands(commands: argparse._SubParsersAction) -> None:
     diff.add_argument("trace_b", help="second JSONL trace file")
 
     bench = actions.add_parser(
-        "bench", help="run the observability benchmark suite (BENCH_6.json)"
+        "bench", help="run the observability benchmark suite (BENCH_7.json)"
     )
     bench.add_argument(
         "--output", default=None, help="write the JSON report to this file"

@@ -8,6 +8,27 @@ and simpy-style generator processes (``yield <delay>`` suspends the process
 for that many simulated seconds).
 
 The engine is deterministic: events at equal times fire in scheduling order.
+
+Performance notes
+-----------------
+Events are stored in per-timestamp *buckets* (a dict mapping time to a deque
+of handles) plus a heap of the distinct bucket times.  The schedule counter
+``seq`` increases monotonically, so appending to a bucket keeps it sorted by
+``seq`` for free, and the deterministic ``(time, seq)`` total order is
+recovered by draining buckets in heap order.  Compared with a heap of
+``(time, seq, handle)`` tuples this turns the per-event ``heappush`` /
+``heappop`` (the dominant cost on big simulations -- O(log n) tuple
+comparisons each) into one heap operation per *distinct timestamp*;
+workloads with coalesced timestamps (scheduler passes, trace replays, batch
+completions) dispatch whole buckets with a plain loop.
+``EventHandle.__lt__`` still implements the ``(time, seq)`` order for code
+that compares handles directly.
+
+``run()`` dispatches each bucket as a batch.  Any event scheduled *during*
+the batch carries a higher ``seq`` than every batch member -- if it lands on
+the same timestamp it goes into a fresh bucket that is drained next -- so
+batching is observationally identical to one-at-a-time stepping
+(cancellations from within a batch are honoured before each fire).
 """
 from __future__ import annotations
 
@@ -15,13 +36,20 @@ import heapq
 import itertools
 import math
 import time
-from typing import Any, Callable, Generator, List, Optional
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Tuple
 
 from ..core.errors import SimulationError
 from ..core.types import Time
 from ..obs import hooks as _obs
 
 __all__ = ["EventHandle", "Simulator", "Process", "callback_label"]
+
+#: Label cache keyed on the callback's code object.  Labels are derived from
+#: qualified names, which are a property of the function (and therefore of
+#: its code object), never of object identity -- so one cache entry serves
+#: every bound method and every simulator sharing that function.
+_LABEL_CACHE: Dict[Any, str] = {}
 
 
 def callback_label(callback: Callable) -> str:
@@ -32,22 +60,42 @@ def callback_label(callback: Callable) -> str:
     memory addresses), so traces stay byte-identical across processes.
     Bound methods of a :class:`Process` report the process name, which is
     itself derived from the generator's qualified name.
+
+    Results are memoized (per :class:`Process` for process steps, per code
+    object otherwise) so observed-mode tracing stops re-deriving labels on
+    every dispatched event.
     """
     owner = getattr(callback, "__self__", None)
     if isinstance(owner, Process):
-        return f"process:{owner.name}"
-    name = getattr(callback, "__qualname__", None)
-    if name is None:  # pragma: no cover - exotic callables (partial, C funcs)
-        name = getattr(type(callback), "__qualname__", "callable")
-    return name
+        return owner._label
+    func = getattr(callback, "__func__", callback)
+    code = getattr(func, "__code__", None)
+    if code is None:  # pragma: no cover - exotic callables (partial, C funcs)
+        name = getattr(callback, "__qualname__", None)
+        if name is None:
+            name = getattr(type(callback), "__qualname__", "callable")
+        return name
+    label = _LABEL_CACHE.get(code)
+    if label is None:
+        label = getattr(func, "__qualname__", code.co_name)
+        _LABEL_CACHE[code] = label
+    return label
 
 
 class EventHandle:
     """A scheduled callback; can be cancelled before it fires."""
 
-    __slots__ = ("time", "seq", "callback", "args", "kwargs", "cancelled", "fired")
+    __slots__ = ("time", "seq", "callback", "args", "kwargs", "cancelled", "fired", "_sim")
 
-    def __init__(self, time: Time, seq: int, callback: Callable, args: tuple, kwargs: dict):
+    def __init__(
+        self,
+        time: Time,
+        seq: int,
+        callback: Callable,
+        args: tuple,
+        kwargs: dict,
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
@@ -55,10 +103,16 @@ class EventHandle:
         self.kwargs = kwargs
         self.cancelled = False
         self.fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if it already fired)."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            sim._pending -= 1
 
     def pending(self) -> bool:
         return not self.cancelled and not self.fired
@@ -79,6 +133,8 @@ class Process:
     process ends when the generator returns.
     """
 
+    __slots__ = ("simulator", "generator", "name", "finished", "_resume_handle", "_label")
+
     def __init__(self, simulator: "Simulator", generator: Generator, name: str = ""):
         self.simulator = simulator
         self.generator = generator
@@ -88,6 +144,7 @@ class Process:
         self.name = name or getattr(generator, "__qualname__", type(generator).__qualname__)
         self.finished = False
         self._resume_handle: Optional[EventHandle] = None
+        self._label = f"process:{self.name}"
 
     def _step(self) -> None:
         if self.finished:
@@ -119,10 +176,18 @@ class Simulator:
 
     def __init__(self, start_time: Time = 0.0):
         self._now: Time = float(start_time)
-        self._queue: List[EventHandle] = []
+        #: Heap of the distinct times that currently have a bucket.
+        self._times: List[Time] = []
+        #: Per-timestamp event buckets; deques stay sorted by ``seq``
+        #: because ``seq`` is monotonic and events are only appended.
+        self._buckets: Dict[Time, Deque[EventHandle]] = {}
         self._seq = itertools.count()
         self._running = False
         self._processed = 0
+        #: Number of scheduled-but-not-yet-fired-or-cancelled events.
+        #: Maintained on schedule (+1), cancel (-1) and fire (-1) so that
+        #: :meth:`empty` is O(1) instead of a scan over the queue.
+        self._pending = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -136,13 +201,13 @@ class Simulator:
         return self._processed
 
     def empty(self) -> bool:
-        """True when no pending event remains."""
-        return not any(e.pending() for e in self._queue)
+        """True when no pending event remains (O(1))."""
+        return self._pending == 0
 
     def peek(self) -> Time:
         """Time of the next pending event, or ``inf`` if there is none."""
-        self._drop_dead_events()
-        return self._queue[0].time if self._queue else math.inf
+        head = self._next_bucket()
+        return head[0] if head is not None else math.inf
 
     # ------------------------------------------------------------------ #
     def schedule(self, delay: Time, callback: Callable, *args: Any, **kwargs: Any) -> EventHandle:
@@ -157,8 +222,15 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time:g}, the clock is already at {self._now:g}"
             )
-        handle = EventHandle(max(time, self._now), next(self._seq), callback, args, kwargs)
-        heapq.heappush(self._queue, handle)
+        at = time if time > self._now else self._now
+        handle = EventHandle(at, next(self._seq), callback, args, kwargs, self)
+        bucket = self._buckets.get(at)
+        if bucket is None:
+            self._buckets[at] = deque((handle,))
+            heapq.heappush(self._times, at)
+        else:
+            bucket.append(handle)
+        self._pending += 1
         return handle
 
     def process(self, generator: Generator, name: str = "") -> Process:
@@ -168,20 +240,44 @@ class Simulator:
         return proc
 
     # ------------------------------------------------------------------ #
-    def _drop_dead_events(self) -> None:
-        while self._queue and (self._queue[0].cancelled or self._queue[0].fired):
-            heapq.heappop(self._queue)
+    def _next_bucket(self) -> Optional[Tuple[Time, Deque[EventHandle]]]:
+        """The earliest bucket that still holds a live event, with its time.
+
+        Dead (cancelled/fired) handles at the bucket head and fully dead
+        buckets are swept lazily here; each dead entry is visited once, so
+        the sweep cost is amortised over the events that created it.
+        """
+        times = self._times
+        buckets = self._buckets
+        while times:
+            t = times[0]
+            bucket = buckets.get(t)
+            if bucket:
+                while bucket and (bucket[0].cancelled or bucket[0].fired):
+                    bucket.popleft()
+                if bucket:
+                    return t, bucket
+            heapq.heappop(times)
+            if bucket is not None:
+                del buckets[t]
+        return None
+
+    def _advance_to(self, t: Time) -> None:
+        if t < self._now - 1e-9:
+            raise SimulationError("event queue went back in time")
+        if t > self._now:
+            self._now = t
 
     def step(self) -> bool:
         """Fire the next pending event; returns False if none remained."""
-        self._drop_dead_events()
-        if not self._queue:
+        head = self._next_bucket()
+        if head is None:
             return False
-        handle = heapq.heappop(self._queue)
-        if handle.time < self._now - 1e-9:
-            raise SimulationError("event queue went back in time")
-        self._now = max(self._now, handle.time)
+        t, bucket = head
+        self._advance_to(t)
+        handle = bucket.popleft()
         handle.fired = True
+        self._pending -= 1
         self._processed += 1
         handle.callback(*handle.args, **handle.kwargs)
         return True
@@ -196,15 +292,25 @@ class Simulator:
         semantic change to :meth:`step` must be mirrored here (the obs
         regression tests assert both variants produce identical metrics).
         """
-        self._drop_dead_events()
-        if not self._queue:
+        head = self._next_bucket()
+        if head is None:
             return False
-        handle = heapq.heappop(self._queue)
-        if handle.time < self._now - 1e-9:
-            raise SimulationError("event queue went back in time")
-        self._now = max(self._now, handle.time)
+        t, bucket = head
+        self._advance_to(t)
+        handle = bucket.popleft()
         handle.fired = True
+        self._pending -= 1
         self._processed += 1
+        self._observe_dispatch(handle)
+        return True
+
+    def _observe_dispatch(self, handle: EventHandle) -> None:
+        """Emit the per-event observation record and run the callback.
+
+        Hooks are looked up per event (not per run) on purpose: an event
+        callback may legally install or remove observation sinks mid-run,
+        and the emitted stream must reflect that instant by instant.
+        """
         tracer = _obs.TRACER[0]
         if tracer is not None:
             tracer.emit(
@@ -225,51 +331,96 @@ class Simulator:
                 handle.callback(*handle.args, **handle.kwargs)
             finally:
                 profiler.add("engine.dispatch", time.perf_counter() - started)
-        return True
 
+    # ------------------------------------------------------------------ #
     def run(self, until: Time = math.inf, max_events: int = 10_000_000) -> Time:
         """Run until the queue drains or the clock passes *until*.
 
         Returns the simulation time when the run stopped.  *max_events*
         guards against accidental infinite event loops.  Whether events are
-        dispatched through the plain or the observed step variant is decided
+        dispatched through the plain or the observed variant is decided
         once per call, from the observation state at entry.
         """
         if self._running:
             raise SimulationError("the simulator is already running (re-entrant run())")
         self._running = True
-        fired = 0
-        step = self._step_observed if _obs.observation_enabled() else self.step
         try:
-            if not math.isfinite(until):
-                # Unbounded run: step() already sweeps dead events and
-                # reports queue exhaustion, so the loop needs no per-event
-                # peek -- this keeps run() as cheap as a bare step loop.
-                while step():
-                    fired += 1
-                    if fired > max_events:
-                        raise SimulationError(
-                            f"more than {max_events} events fired; "
-                            "likely an infinite scheduling loop"
-                        )
-            else:
-                while True:
-                    self._drop_dead_events()
-                    if not self._queue:
-                        break
-                    if self._queue[0].time > until:
-                        self._now = until
-                        break
-                    if not step():
-                        break
-                    fired += 1
-                    if fired > max_events:
-                        raise SimulationError(
-                            f"more than {max_events} events fired; "
-                            "likely an infinite scheduling loop"
-                        )
+            if _obs.observation_enabled():
+                return self._run_observed(until, max_events)
+            return self._run_plain(until, max_events)
         finally:
             self._running = False
+
+    def _run_plain(self, until: Time, max_events: int) -> Time:
+        fired = 0
+        bounded = math.isfinite(until)
+        buckets = self._buckets
+        times = self._times
+        while True:
+            head = self._next_bucket()
+            if head is None:
+                break
+            t, bucket = head
+            if bounded and t > until:
+                self._now = until
+                break
+            # The whole bucket is detached and fired as one batch; events
+            # scheduled meanwhile (even at this same timestamp) land in a
+            # fresh bucket with higher seqs and are drained afterwards.
+            del buckets[t]
+            heapq.heappop(times)
+            self._advance_to(t)
+            for handle in bucket:
+                if handle.cancelled:
+                    # Cancelled by an earlier event of this same batch.
+                    continue
+                handle.fired = True
+                self._pending -= 1
+                self._processed += 1
+                handle.callback(*handle.args, **handle.kwargs)
+                fired += 1
+                if fired > max_events:
+                    raise SimulationError(
+                        f"more than {max_events} events fired; "
+                        "likely an infinite scheduling loop"
+                    )
+        return self._now
+
+    def _run_observed(self, until: Time, max_events: int) -> Time:
+        """:meth:`_run_plain` with per-event observation.
+
+        The same near-duplicate discipline as :meth:`_step_observed`: the
+        plain loop stays free of observation code so a disabled run pays
+        nothing, and any semantic change here must be mirrored there.
+        """
+        fired = 0
+        bounded = math.isfinite(until)
+        buckets = self._buckets
+        times = self._times
+        while True:
+            head = self._next_bucket()
+            if head is None:
+                break
+            t, bucket = head
+            if bounded and t > until:
+                self._now = until
+                break
+            del buckets[t]
+            heapq.heappop(times)
+            self._advance_to(t)
+            for handle in bucket:
+                if handle.cancelled:
+                    continue
+                handle.fired = True
+                self._pending -= 1
+                self._processed += 1
+                self._observe_dispatch(handle)
+                fired += 1
+                if fired > max_events:
+                    raise SimulationError(
+                        f"more than {max_events} events fired; "
+                        "likely an infinite scheduling loop"
+                    )
         return self._now
 
     def run_until_empty(self) -> Time:
@@ -277,5 +428,4 @@ class Simulator:
         return self.run(math.inf)
 
     def __repr__(self) -> str:
-        pending = sum(1 for e in self._queue if e.pending())
-        return f"Simulator(now={self._now:g}, pending={pending})"
+        return f"Simulator(now={self._now:g}, pending={self._pending})"

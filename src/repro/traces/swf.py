@@ -269,6 +269,60 @@ def _parse_value(name: str, token: str, where: str):
         raise WorkloadError(f"{where}: bad value {token!r} for field {name!r}") from None
 
 
+def _build_row_parser():
+    """Compile ``tokens -> field dict`` with the int/float calls inlined.
+
+    Ingest is the hot loop of trace replay: 18 converter *function calls*
+    per line (the obvious implementation) cost more than the parsing itself.
+    Generating one lambda whose body is a dict display of direct ``int()`` /
+    ``float()`` calls keeps the per-line Python-call count at one.  The
+    parser is intentionally strict -- any token ``int()``/``float()`` reject
+    (e.g. ``"123.0"`` in an integer field) raises ``ValueError`` and the
+    caller falls back to :func:`_parse_value`, which owns the tolerant
+    conversions and the error messages.
+    """
+    parts = []
+    for i, name in enumerate(SWF_FIELDS):
+        fn = "int" if name in _INT_FIELDS else "float"
+        parts.append(f"{name!r}: {fn}(t[{i}])")
+    return eval("lambda t: {" + ", ".join(parts) + "}")  # noqa: S307 - static source
+
+
+_ROW_PARSER = _build_row_parser()
+
+
+def _parse_job_slow(tokens: List[str], strict: bool, where: str) -> Optional[SwfJob]:
+    """Tolerant per-field job-line parser (arity fixes, ``123.0`` ints).
+
+    Returns ``None`` when the line must be skipped (lenient mode); raises
+    :class:`WorkloadError` in strict mode.  This is the original parsing
+    path, kept as the fallback of the generated fast parser so error
+    messages and lenient-mode behaviour are unchanged.
+    """
+    if len(tokens) > len(SWF_FIELDS):
+        if strict:
+            raise WorkloadError(
+                f"{where}: expected {len(SWF_FIELDS)} fields, got {len(tokens)}"
+            )
+        tokens = tokens[: len(SWF_FIELDS)]
+    if len(tokens) < len(SWF_FIELDS):
+        if strict:
+            raise WorkloadError(
+                f"{where}: expected {len(SWF_FIELDS)} fields, got {len(tokens)}"
+            )
+        tokens = tokens + ["-1"] * (len(SWF_FIELDS) - len(tokens))
+    try:
+        values = {
+            name: _parse_value(name, token, where)
+            for name, token in zip(SWF_FIELDS, tokens)
+        }
+    except WorkloadError:
+        if strict:
+            raise
+        return None
+    return SwfJob(**values)
+
+
 def loads_swf(
     text: str, *, strict: bool = True, source: str = "<string>"
 ) -> Trace:
@@ -286,12 +340,22 @@ def loads_swf(
     comments: List[str] = []
     jobs: List[SwfJob] = []
     skipped = 0
+    # Hot-loop locals: the fast row parser plus the pieces of the frozen
+    # dataclass construction.  ``SwfJob`` has no __post_init__, so adopting
+    # the parsed dict as the instance __dict__ is equivalent to (and several
+    # times faster than) the generated __init__ with its 18 guarded
+    # object.__setattr__ calls.
+    n_fields = len(SWF_FIELDS)
+    parse_row = _ROW_PARSER
+    new_job = object.__new__
+    set_attr = object.__setattr__
+    append_job = jobs.append
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
-        where = f"{source}:{lineno}"
         if not line:
             continue
-        if line.startswith(";"):
+        first = line[0]
+        if first == ";":
             body = line.lstrip(";").strip()
             key, sep, value = body.partition(":")
             if sep and key.strip() and " " not in key.strip():
@@ -299,33 +363,25 @@ def loads_swf(
             elif body:
                 comments.append(body)
             continue
-        if line.startswith("#"):  # not standard SWF, but tolerated
+        if first == "#":  # not standard SWF, but tolerated
             comments.append(line.lstrip("#").strip())
             continue
         tokens = line.split()
-        if len(tokens) > len(SWF_FIELDS):
-            if strict:
-                raise WorkloadError(
-                    f"{where}: expected {len(SWF_FIELDS)} fields, got {len(tokens)}"
-                )
-            tokens = tokens[: len(SWF_FIELDS)]
-        if len(tokens) < len(SWF_FIELDS):
-            if strict:
-                raise WorkloadError(
-                    f"{where}: expected {len(SWF_FIELDS)} fields, got {len(tokens)}"
-                )
-            tokens = tokens + ["-1"] * (len(SWF_FIELDS) - len(tokens))
-        try:
-            values = {
-                name: _parse_value(name, token, where)
-                for name, token in zip(SWF_FIELDS, tokens)
-            }
-        except WorkloadError:
-            if strict:
-                raise
+        if len(tokens) == n_fields:
+            try:
+                values = parse_row(tokens)
+            except ValueError:
+                values = None
+            if values is not None:
+                job = new_job(SwfJob)
+                set_attr(job, "__dict__", values)
+                append_job(job)
+                continue
+        job = _parse_job_slow(tokens, strict, f"{source}:{lineno}")
+        if job is None:
             skipped += 1
-            continue
-        jobs.append(SwfJob(**values))
+        else:
+            append_job(job)
 
     if profiler is not None:
         profiler.add("trace.ingest", time.perf_counter() - ingest_started)

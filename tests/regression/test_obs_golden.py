@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from tests.regression.generate_obs_golden import (
     GOLDEN_OBS_DIR,
     TRACED_SCENARIO,
@@ -26,9 +28,23 @@ def load_fixture() -> dict:
     return json.loads(path.read_text(encoding="utf-8"))
 
 
-def test_trace_export_matches_golden_digest() -> None:
+@pytest.fixture(scope="module")
+def fresh() -> dict:
+    """One traced scenario run shared by every assertion in this module."""
+    return golden_trace_digest()
+
+
+def _dispatch_labels(head_lines) -> list:
+    labels = []
+    for line in head_lines:
+        event = json.loads(line)
+        if event.get("cat") == "engine" and event.get("name") == "dispatch":
+            labels.append(event["args"]["callback"])
+    return labels
+
+
+def test_trace_export_matches_golden_digest(fresh: dict) -> None:
     fixture = load_fixture()
-    fresh = golden_trace_digest()
 
     assert fresh["seed"] == fixture["seed"], "seed derivation changed"
     assert fresh["event_count"] == fixture["event_count"]
@@ -41,3 +57,15 @@ def test_trace_export_matches_golden_digest() -> None:
         "trace bytes drifted despite identical counts -- event ordering or "
         "argument values changed"
     )
+
+
+def test_dispatch_labels_match_golden(fresh: dict) -> None:
+    """Memoized callback labels must equal the labels pinned in the golden.
+
+    The label cache keys on code objects; if it ever returned a stale or
+    identity-dependent string, the dispatch events would drift here first.
+    """
+    fixture = load_fixture()
+    expected = _dispatch_labels(fixture["head"])
+    actual = _dispatch_labels(fresh["head"])
+    assert actual == expected, "engine dispatch callback labels drifted"

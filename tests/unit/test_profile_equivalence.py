@@ -1,0 +1,277 @@
+"""Property tests: indexed StepFunction vs a pure-python reference.
+
+The kernel overhaul replaced the linear-scan ``StepFunction`` internals with
+bisect-indexed lookups, single-pass merges, in-place rectangle updates and a
+delta-sweep builder.  These tests pin the new implementation against
+``ReferenceStepFunction`` -- a deliberately naive reimplementation of the
+original semantics (linear scans, point-evaluation merges) -- over random
+breakpoint sets, including duplicate-time rectangles and infinite durations.
+"""
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.profile import StepBuilder, StepFunction
+
+_EPS = 1e-9
+_APPROX = 1e-6
+
+
+class ReferenceStepFunction:
+    """Naive step function on ``[0, inf)``: linear scans everywhere.
+
+    Mirrors the documented semantics of :class:`StepFunction` (right
+    continuity, value 0 before t=0, eps-compaction keeping the first value of
+    every run) without any of the indexing tricks.
+    """
+
+    def __init__(self, times, values):
+        assert times[0] == 0.0
+        self.times = []
+        self.values = []
+        for t, v in zip(times, values):
+            if self.values and abs(v - self.values[-1]) < _EPS:
+                continue
+            self.times.append(float(t))
+            self.values.append(float(v))
+
+    def value_at(self, t):
+        if t < 0:
+            return 0.0
+        value = self.values[0]
+        for bt, bv in zip(self.times, self.values):
+            if bt <= t:
+                value = bv
+            else:
+                break
+        return value
+
+    def min_over(self, start, end):
+        if end <= start:
+            return self.value_at(start)
+        best = self.value_at(start)
+        for bt, bv in zip(self.times, self.values):
+            if start < bt < end and bv < best:
+                best = bv
+        if start < 0:
+            best = min(best, 0.0)
+        return best
+
+    def integrate(self, start, end):
+        if end <= start:
+            return 0.0
+        total = 0.0
+        for i, (bt, bv) in enumerate(zip(self.times, self.values)):
+            seg_end = self.times[i + 1] if i + 1 < len(self.times) else math.inf
+            lo = max(bt, start)
+            hi = min(seg_end, end)
+            if hi <= lo:
+                continue
+            if math.isinf(hi):
+                if abs(bv) < _EPS:
+                    continue
+                raise ValueError("non-zero to infinity")
+            total += bv * (hi - lo)
+        return total
+
+    def combine(self, other, op):
+        times = sorted(set(self.times) | set(other.times))
+        values = [op(self.value_at(t), other.value_at(t)) for t in times]
+        return ReferenceStepFunction(times, values)
+
+    def add_rectangle(self, start, duration, height):
+        if duration <= 0 or height == 0:
+            return ReferenceStepFunction(self.times, self.values)
+        end = start + duration
+        new_edges = {float(start)} if math.isinf(end) else {float(start), float(end)}
+        times = sorted(set(self.times) | new_edges)
+        values = [
+            self.value_at(t) + (height if start <= t and (math.isinf(end) or t < end) else 0.0)
+            for t in times
+        ]
+        return ReferenceStepFunction(times, values)
+
+
+# --------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------- #
+_heights = st.integers(min_value=-8, max_value=8)
+_starts = st.one_of(
+    st.integers(min_value=0, max_value=40).map(float),
+    st.floats(min_value=0.0, max_value=40.0, allow_nan=False, width=32),
+)
+_durations = st.one_of(
+    st.integers(min_value=1, max_value=30).map(float),
+    st.floats(min_value=0.25, max_value=30.0, allow_nan=False, width=32),
+    st.just(math.inf),
+)
+_rect = st.tuples(_starts, _durations, _heights)
+_rects = st.lists(_rect, min_size=0, max_size=12)
+
+
+def _build_pair(rects, base=0):
+    """The same rectangle chain as an indexed profile and as a reference."""
+    fast = StepFunction.constant(base)
+    ref = ReferenceStepFunction([0.0], [float(base)])
+    for start, duration, height in rects:
+        fast = fast.add_rectangle(start, duration, height)
+        ref = ref.add_rectangle(start, duration, height)
+    return fast, ref
+
+
+def _assert_profiles_match(fast: StepFunction, ref: ReferenceStepFunction):
+    assert len(fast.times) == len(ref.times), (fast.times, ref.times)
+    for a, b in zip(fast.times, ref.times):
+        assert abs(a - b) < _APPROX
+    for a, b in zip(fast.values, ref.values):
+        assert abs(a - b) < _APPROX
+
+
+# --------------------------------------------------------------------- #
+# Point / window queries
+# --------------------------------------------------------------------- #
+@settings(max_examples=200, deadline=None)
+@given(rects=_rects, probes=st.lists(st.floats(-5.0, 90.0, allow_nan=False), max_size=8))
+def test_value_at_matches_reference(rects, probes):
+    fast, ref = _build_pair(rects, base=4)
+    _assert_profiles_match(fast, ref)
+    for t in probes + list(fast.times):
+        assert fast.value_at(t) == pytest.approx(ref.value_at(t), abs=_APPROX)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    rects=_rects,
+    start=st.floats(-5.0, 80.0, allow_nan=False),
+    width=st.floats(0.0, 50.0, allow_nan=False),
+)
+def test_min_over_matches_reference(rects, start, width):
+    fast, ref = _build_pair(rects, base=4)
+    assert fast.min_over(start, start + width) == pytest.approx(
+        ref.min_over(start, start + width), abs=_APPROX
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    rects=_rects,
+    start=st.floats(0.0, 80.0, allow_nan=False),
+    width=st.floats(0.0, 50.0, allow_nan=False),
+)
+def test_integrate_matches_reference(rects, start, width):
+    fast, ref = _build_pair(rects)  # base 0: eventually-zero tails are common
+    assert fast.integrate(start, start + width) == pytest.approx(
+        ref.integrate(start, start + width), abs=1e-4
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(rects=_rects)
+def test_integrate_to_infinity_matches_reference(rects):
+    fast, ref = _build_pair(rects)
+    try:
+        expected = ref.integrate(0.0, math.inf)
+    except ValueError:
+        from repro.core.errors import ProfileError
+
+        with pytest.raises(ProfileError):
+            fast.integrate(0.0, math.inf)
+        return
+    assert fast.integrate(0.0, math.inf) == pytest.approx(expected, abs=1e-4)
+
+
+# --------------------------------------------------------------------- #
+# Merge algebra
+# --------------------------------------------------------------------- #
+@settings(max_examples=200, deadline=None)
+@given(rects_a=_rects, rects_b=_rects)
+def test_combine_ops_match_reference(rects_a, rects_b):
+    fa, ra = _build_pair(rects_a, base=3)
+    fb, rb = _build_pair(rects_b, base=2)
+    import operator
+
+    for fast_op, op in (
+        (fa + fb, operator.add),
+        (fa - fb, operator.sub),
+        (fa.maximum(fb), max),
+        (fa.minimum(fb), min),
+    ):
+        _assert_profiles_match(fast_op, ra.combine(rb, op))
+
+
+@settings(max_examples=150, deadline=None)
+@given(rects=_rects, start=_starts, duration=_durations, height=_heights)
+def test_rectangle_ops_match_reference(rects, start, duration, height):
+    fast, ref = _build_pair(rects, base=5)
+    _assert_profiles_match(fast.add_rectangle(start, duration, height),
+                           ref.add_rectangle(start, duration, height))
+    _assert_profiles_match(fast.subtract_rectangle(start, duration, height),
+                           ref.add_rectangle(start, duration, -height))
+
+
+# --------------------------------------------------------------------- #
+# Duplicate-time and infinity edge cases, pinned explicitly
+# --------------------------------------------------------------------- #
+def test_duplicate_time_rectangles_collapse():
+    fast, ref = _build_pair([(10.0, 5.0, 3), (10.0, 5.0, -3), (10.0, 5.0, 2)], base=4)
+    _assert_profiles_match(fast, ref)
+    assert fast.value_at(10.0) == pytest.approx(6.0)
+    assert fast.value_at(15.0) == pytest.approx(4.0)
+
+
+def test_infinite_rectangle_tail():
+    fast, ref = _build_pair([(7.0, math.inf, 2), (3.0, 4.0, 1)], base=1)
+    _assert_profiles_match(fast, ref)
+    assert fast.value_at(1e12) == pytest.approx(3.0)
+
+
+def test_min_over_negative_start_sees_zero():
+    profile = StepFunction.constant(5)
+    assert profile.min_over(-2.0, 1.0) == 0.0
+    assert profile.value_at(-0.5) == 0.0
+
+
+# --------------------------------------------------------------------- #
+# In-place ops and the builder against the functional chain
+# --------------------------------------------------------------------- #
+@settings(max_examples=200, deadline=None)
+@given(rects=_rects)
+def test_in_place_matches_functional_chain(rects):
+    functional = StepFunction.constant(6)
+    in_place = StepFunction.constant(6)
+    for start, duration, height in rects:
+        functional = functional.add_rectangle(start, duration, height)
+        in_place.add_rectangle_in_place(start, duration, height)
+    assert in_place.times == functional.times
+    assert in_place.values == functional.values
+
+
+@settings(max_examples=200, deadline=None)
+@given(rects=_rects)
+def test_builder_matches_sequential_chain(rects):
+    chained = StepFunction.zero()
+    builder = StepBuilder()
+    for start, duration, height in rects:
+        chained = chained.add_rectangle(start, duration, height)
+        builder.add_rectangle(start, duration, height)
+    built = builder.build()
+    assert len(built.times) == len(chained.times)
+    for a, b in zip(built.times, chained.times):
+        assert abs(a - b) < _APPROX
+    for a, b in zip(built.values, chained.values):
+        assert abs(a - b) < _APPROX
+
+
+@settings(max_examples=150, deadline=None)
+@given(rects=_rects, probe=st.floats(0.0, 90.0, allow_nan=False))
+def test_copy_is_independent(rects, probe):
+    original = StepFunction.constant(4)
+    for start, duration, height in rects:
+        original.add_rectangle_in_place(start, duration, height)
+    snapshot = original.copy()
+    original.subtract_rectangle_in_place(0.0, math.inf, 1)
+    assert snapshot.value_at(probe) == pytest.approx(original.value_at(probe) + 1, abs=_APPROX)

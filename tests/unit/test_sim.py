@@ -7,6 +7,7 @@ import pytest
 
 from repro.core import SimulationError
 from repro.sim import RandomSource, Simulator, derive_seed, spawn_streams
+from repro.sim.engine import EventHandle, callback_label
 from repro.sim.randomness import MAX_DERIVED_SEED
 
 
@@ -112,6 +113,154 @@ class TestScheduling:
             sim.schedule(1, lambda: None)
         sim.run()
         assert sim.processed_events == 5
+
+
+class _Untouchable:
+    """Stand-in for the event queue that fails on any access."""
+
+    def __getattribute__(self, name):
+        raise AssertionError("empty() must not inspect the event queue")
+
+
+class TestPendingCounter:
+    def test_empty_after_mass_cancellation(self):
+        sim = Simulator()
+        handles = [sim.schedule(5, lambda: None) for _ in range(5_000)]
+        for handle in handles:
+            handle.cancel()
+        assert sim.empty()
+
+    def test_empty_is_constant_time(self):
+        # empty() must be answerable from the pending counter alone: replace
+        # the queue structures with objects that explode on any access.
+        sim = Simulator()
+        handle = sim.schedule(5, lambda: None)
+        sim._buckets = _Untouchable()
+        sim._times = _Untouchable()
+        assert not sim.empty()
+        handle.cancelled = True
+        sim._pending -= 1
+        assert sim.empty()
+
+    def test_counter_tracks_schedule_cancel_and_fire(self):
+        sim = Simulator()
+        keep = sim.schedule(1, lambda: None)
+        drop = sim.schedule(2, lambda: None)
+        assert not sim.empty()
+        drop.cancel()
+        drop.cancel()  # double-cancel must not decrement twice
+        assert not sim.empty()
+        sim.run()
+        assert sim.empty()
+        assert keep.fired and not drop.fired
+
+    def test_interrupted_process_leaves_queue_empty(self):
+        sim = Simulator()
+
+        def worker():
+            while True:
+                yield 10
+
+        proc = sim.process(worker())
+        sim.schedule(25, proc.interrupt)
+        sim.run()
+        assert sim.empty()
+
+
+class TestBatchedDispatch:
+    """Same-timestamp batches must be indistinguishable from stepping."""
+
+    def test_mid_batch_scheduling_at_same_timestamp(self):
+        sim = Simulator()
+        order = []
+
+        def b():
+            order.append("b")
+            # Same timestamp as the batch being fired: must run after it,
+            # in schedule order, not be lost and not jump the queue.
+            sim.schedule(0.0, order.append, "d")
+            sim.schedule(0.0, order.append, "e")
+
+        sim.schedule(5, order.append, "a")
+        sim.schedule(5, b)
+        sim.schedule(5, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c", "d", "e"]
+        assert sim.now == 5.0
+
+    def test_mid_batch_cancellation_is_honoured(self):
+        sim = Simulator()
+        order = []
+        victim = None
+
+        def killer():
+            order.append("killer")
+            victim.cancel()
+
+        sim.schedule(5, killer)
+        victim = sim.schedule(5, order.append, "victim")
+        sim.schedule(5, order.append, "survivor")
+        sim.run()
+        assert order == ["killer", "survivor"]
+        assert sim.empty()
+
+    def test_step_and_run_agree_on_tie_order(self):
+        def drive(runner):
+            sim = Simulator()
+            order = []
+            for label in "abc":
+                sim.schedule(7, order.append, label)
+            sim.schedule(3, order.append, "first")
+            runner(sim)
+            return order
+
+        stepped = drive(lambda sim: [sim.step() for _ in range(4)])
+        ran = drive(lambda sim: sim.run())
+        assert stepped == ran == ["first", "a", "b", "c"]
+
+    def test_event_handle_orders_by_time_then_seq(self):
+        sim = Simulator()
+        h1 = sim.schedule(5, lambda: None)
+        h2 = sim.schedule(5, lambda: None)
+        h3 = sim.schedule(4, lambda: None)
+        assert h3 < h1 < h2
+        assert sorted([h2, h3, h1]) == [h3, h1, h2]
+        # Direct construction keeps the same (time, seq) order.
+        a = EventHandle(1.0, 0, lambda: None, (), {})
+        b = EventHandle(1.0, 1, lambda: None, (), {})
+        assert a < b and not b < a
+
+
+class TestCallbackLabels:
+    def test_plain_function_label(self):
+        def my_callback():
+            pass
+
+        assert callback_label(my_callback).endswith("my_callback")
+
+    def test_bound_method_label_cached_across_instances(self):
+        class Thing:
+            def cb(self):
+                pass
+
+        a, b = Thing(), Thing()
+        label_a = callback_label(a.cb)
+        label_b = callback_label(b.cb)
+        assert label_a.endswith("Thing.cb")
+        # Memoized on the code object: the exact same string comes back for
+        # every instance and every repeated call.
+        assert label_a is label_b
+        assert callback_label(a.cb) is label_a
+
+    def test_process_label_uses_process_name(self):
+        sim = Simulator()
+
+        def worker():
+            yield 1
+
+        proc = sim.process(worker(), name="pump")
+        assert callback_label(proc._step) == "process:pump"
+        assert callback_label(proc._step) is callback_label(proc._step)
 
 
 class TestProcesses:
