@@ -97,6 +97,12 @@ def add_campaign_commands(commands: argparse._SubParsersAction) -> None:
         help="write one deterministic JSONL event trace per run into this "
         "directory (implies per-run tracing; see 'python -m repro obs')",
     )
+    run.add_argument(
+        "--slo", default=None, metavar="SPEC",
+        help="evaluate every run against an SLO spec ('default' or a path "
+        "to a spec JSON file); verdicts land in the run records ('slo' "
+        "field, aggregated by 'campaign report')",
+    )
 
     listing = actions.add_parser("list", help="list stored campaigns")
     listing.add_argument("--results-dir", default=None, help="result store root")
@@ -207,13 +213,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 record["seed"],
             )
 
-    runner = CampaignRunner(
-        spec,
-        store=store,
-        progress=progress,
-        collect_obs=args.obs,
-        trace_dir=args.trace_dir,
-    )
+    try:
+        runner = CampaignRunner(
+            spec,
+            store=store,
+            progress=progress,
+            collect_obs=args.obs,
+            trace_dir=args.trace_dir,
+            slo_spec=args.slo,
+        )
+    except (OSError, ValueError) as exc:
+        # A missing or malformed --slo spec file fails before any run starts.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     result = runner.run(workers=args.workers, append=args.append)
     if args.trace_dir:
         _LOG.info("event traces written under %s", args.trace_dir)
@@ -306,6 +318,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     matrix = store.policy_matrix(args.name, records)
     routing_matrix = store.routing_matrix(args.name, records)
     obs_summary = store.obs_summary(args.name, records)
+    slo_summary = store.slo_summary(args.name, records)
     print(f"campaign {args.name!r}: per-scenario medians over replicates")
     for scenario in summary:
         print()
@@ -332,6 +345,17 @@ def _cmd_report(args: argparse.Namespace) -> int:
                     ["counter", "median"], list(obs_summary[scenario].items())
                 )
             )
+        if scenario in slo_summary:
+            verdicts = slo_summary[scenario]
+            # slo.passed is 1.0/0.0 per run; its median reads as "did the
+            # majority of replicates pass".
+            passed = verdicts.get("slo.passed", 0.0) >= 1.0
+            print()
+            print(
+                f"-- {scenario}: SLO "
+                f"({'PASS' if passed else 'FAIL'}, median per run) --"
+            )
+            print(format_table(["objective", "median"], list(verdicts.items())))
     # Matrix campaigns additionally get side-by-side comparisons of every
     # policy (and, for federated campaigns, every routing) on the same base
     # scenario -- identical workload per seed in both matrices.

@@ -54,6 +54,10 @@ class RunTask:
     #: When non-empty, write the run's deterministic JSONL event trace to
     #: ``<trace_dir>/<scenario>_r<replicate>.trace.jsonl``.
     trace_dir: str = ""
+    #: When non-empty, evaluate the run against an SLO spec (``"default"``
+    #: or a path to a spec JSON file) and persist the flat verdict in the
+    #: record's ``slo`` field.  Implies tracing the run in memory.
+    slo_spec: str = ""
 
 
 @dataclass
@@ -78,12 +82,21 @@ def trace_filename(scenario: str, replicate: int) -> str:
     return f"{scenario}_r{replicate}.trace.jsonl"
 
 
+def _resolve_slo(name: str):
+    """``"default"`` or a spec-file path -> :class:`~repro.obs.slo.SLOSpec`."""
+    from ..obs.slo import DEFAULT_SLO, SLOSpec
+
+    if name == "default":
+        return DEFAULT_SLO
+    return SLOSpec.load(name)
+
+
 def _execute_task(task: RunTask) -> Dict:
     """Run one task in the current process (also the pool worker body)."""
     runner = get_runner(task.scenario.runner)
     consume_provenance()  # drop leftovers from any previous run
-    observing = task.collect_obs or bool(task.trace_dir)
-    tracer = EventTracer() if task.trace_dir else None
+    observing = task.collect_obs or bool(task.trace_dir) or bool(task.slo_spec)
+    tracer = EventTracer() if (task.trace_dir or task.slo_spec) else None
     registry = MetricsRegistry() if task.collect_obs else None
     profiler = PhaseProfiler() if task.collect_obs else None
     if observing:
@@ -118,7 +131,20 @@ def _execute_task(task: RunTask) -> Dict:
         # Wall-clock: the parent pops this out and aggregates it into
         # meta.json; it must never be persisted in runs.jsonl.
         record["_phase_seconds"] = profiler.snapshot()
-    if tracer is not None:
+    if tracer is not None and task.slo_spec:
+        # Deterministic analytics over the in-memory trace: audits and a
+        # timeline are pure functions of the event stream, so the flat SLO
+        # verdict may live in the byte-stable run records.
+        from ..obs.lifecycle import build_audits
+        from ..obs.slo import evaluate_slo
+        from ..obs.timeline import TimelineBuilder
+
+        audits = build_audits(tracer.events)
+        timeline = TimelineBuilder().build(tracer.events)
+        record["slo"] = evaluate_slo(
+            _resolve_slo(task.slo_spec), audits, timeline
+        ).to_flat()
+    if tracer is not None and task.trace_dir:
         directory = Path(task.trace_dir)
         directory.mkdir(parents=True, exist_ok=True)
         path = directory / trace_filename(task.scenario.name, task.replicate)
@@ -136,12 +162,16 @@ class CampaignRunner:
         progress: Optional[ProgressFn] = None,
         collect_obs: bool = False,
         trace_dir: Optional[str] = None,
+        slo_spec: Optional[str] = None,
     ):
         self.spec = spec
         self.store = store
         self.progress = progress
         self.collect_obs = collect_obs
         self.trace_dir = str(trace_dir) if trace_dir else ""
+        self.slo_spec = str(slo_spec) if slo_spec else ""
+        if self.slo_spec:
+            _resolve_slo(self.slo_spec)  # fail fast on a bad spec
 
     def tasks(self) -> List[RunTask]:
         """The full grid, in canonical (scenario, policy, replicate) order.
@@ -157,6 +187,7 @@ class CampaignRunner:
                 base_scenario=base_name,
                 collect_obs=self.collect_obs,
                 trace_dir=self.trace_dir,
+                slo_spec=self.slo_spec,
             )
             for variant, base_name in self.spec.expanded_scenarios()
             for replicate in range(self.spec.seeds)

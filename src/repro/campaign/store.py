@@ -204,6 +204,28 @@ class ResultStore:
             for scenario, snapshots in by_scenario.items()
         }
 
+    def slo_summary(
+        self, name: str, records: Optional[Sequence[Mapping]] = None
+    ) -> Dict[str, Dict[str, float]]:
+        """Per-scenario medians of the recorded SLO verdicts.
+
+        Records carry an ``slo`` field only when the campaign ran with
+        ``--slo``; scenarios without any such record are absent.  The
+        verdicts are flat metric dicts (``slo.passed`` is 1.0/0.0, so its
+        median reads as "the majority of replicates passed"), summarised by
+        the same median machinery as everything else.
+        """
+        by_scenario: Dict[str, List[Mapping]] = {}
+        for record in records if records is not None else self.load_records(name):
+            slo = record.get("slo")
+            if isinstance(slo, Mapping):
+                scenario = str(record.get("scenario", ""))
+                by_scenario.setdefault(scenario, []).append(slo)
+        return {
+            scenario: median_summary(verdicts)
+            for scenario, verdicts in by_scenario.items()
+        }
+
     def provenance_of(
         self, name: str, records: Optional[Sequence[Mapping]] = None
     ) -> Dict[str, Dict]:

@@ -107,6 +107,50 @@ class CooRMv2:
         self._schedule_handle: Optional[EventHandle] = None
         self._last_schedule_time: Time = -math.inf
         self._expiry_handles: Dict[int, EventHandle] = {}
+        # Deterministic per-app request ordinals for lifecycle trace events:
+        # ``Request.request_id`` comes from a process-global counter and would
+        # differ between worker processes, so it must never reach a trace.
+        self._obs_req_ordinals: Dict[int, int] = {}
+        self._obs_app_counts: Dict[str, int] = {}
+        tracer = _obs.TRACER[0]
+        if tracer is not None:
+            tracer.emit(
+                self.now,
+                "rms",
+                "platform",
+                {
+                    "clusters": {
+                        cid: int(n) for cid, n in sorted(platform.capacity().items())
+                    },
+                    "policy": self.scheduler.policy.name,
+                    "interval": self.rescheduling_interval,
+                },
+            )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle observability helpers (only called with a live tracer)
+    # ------------------------------------------------------------------ #
+    def _obs_req(self, request: Request) -> int:
+        """Per-app submission ordinal of *request* (deterministic)."""
+        ordinal = self._obs_req_ordinals.get(request.request_id)
+        if ordinal is None:
+            app_id = request.app_id or ""
+            ordinal = self._obs_app_counts.get(app_id, 0) + 1
+            self._obs_app_counts[app_id] = ordinal
+            self._obs_req_ordinals[request.request_id] = ordinal
+        return ordinal
+
+    def _obs_allocation(self, tracer) -> None:
+        """Sample the per-cluster allocated node counts as a counter event."""
+        tracer.counter(
+            self.now,
+            "rms",
+            "allocated",
+            {
+                cid: float(self.platform.cluster(cid).allocated_count())
+                for cid in sorted(self.platform.clusters)
+            },
+        )
 
     # ------------------------------------------------------------------ #
     # Time
@@ -134,6 +178,9 @@ class CooRMv2:
         session = Session(app_id, application, self.now)
         self.sessions[app_id] = session
         self.event_log.record(Connected(self.now, app_id))
+        tracer = _obs.TRACER[0]
+        if tracer is not None:
+            tracer.emit(self.now, "rms", "connect", {"app": app_id})
         self._trigger_schedule()
         return session
 
@@ -145,6 +192,9 @@ class CooRMv2:
                 self._finish_request(session, request, released_node_ids=None, expired=False)
         session.alive = False
         self.event_log.record(Disconnected(self.now, app_id))
+        tracer = _obs.TRACER[0]
+        if tracer is not None:
+            tracer.emit(self.now, "rms", "disconnect", {"app": app_id})
         self._trigger_schedule()
 
     def kill(self, app_id: str, reason: str) -> None:
@@ -159,6 +209,10 @@ class CooRMv2:
             session.remove_nodes(cid, nodes)
         session.kill(reason)
         self.event_log.record(SessionKilled(self.now, app_id, reason=reason))
+        tracer = _obs.TRACER[0]
+        if tracer is not None:
+            tracer.emit(self.now, "rms", "kill", {"app": app_id, "reason": reason})
+            self._obs_allocation(tracer)
         session.application.on_killed(reason)
         self._trigger_schedule()
 
@@ -200,6 +254,27 @@ class CooRMv2:
                 duration=request.duration,
             )
         )
+        metrics = _obs.METRICS[0]
+        if metrics is not None:
+            metrics.inc("rms.requests_submitted")
+        tracer = _obs.TRACER[0]
+        if tracer is not None:
+            tracer.emit(
+                self.now,
+                "rms",
+                "submit",
+                {
+                    "app": app_id,
+                    "req": self._obs_req(request),
+                    "rtype": request.rtype.value,
+                    "nodes": request.node_count,
+                    # Open-ended requests carry an infinite duration, which
+                    # strict JSON cannot represent; null marks "unbounded".
+                    "duration": (
+                        request.duration if math.isfinite(request.duration) else None
+                    ),
+                },
+            )
         self._trigger_schedule()
         return request
 
@@ -299,6 +374,25 @@ class CooRMv2:
             self.event_log.record(
                 RequestExpired(self.now, session.app_id, request_id=request.request_id)
             )
+        metrics = _obs.METRICS[0]
+        if metrics is not None:
+            metrics.inc("rms.requests_finished")
+        tracer = _obs.TRACER[0]
+        if tracer is not None:
+            tracer.emit(
+                self.now,
+                "rms",
+                "finish",
+                {
+                    "app": session.app_id,
+                    "req": self._obs_req(request),
+                    "rtype": request.rtype.value,
+                    "nodes": nodes_used if was_started else 0,
+                    "started": was_started,
+                    "expired": expired,
+                },
+            )
+            self._obs_allocation(tracer)
 
     def _pending_next_child(self, session: Session, request: Request) -> Optional[Request]:
         """The not-yet-started NEXT successor of *request*, if any."""
@@ -356,6 +450,20 @@ class CooRMv2:
             self.event_log.record(
                 RequestStarted(now, session.app_id, request_id=request.request_id)
             )
+            tracer = _obs.TRACER[0]
+            if tracer is not None:
+                tracer.emit(
+                    now,
+                    "rms",
+                    "start",
+                    {
+                        "app": session.app_id,
+                        "req": self._obs_req(request),
+                        "rtype": request.rtype.value,
+                        "nodes": 0,
+                        "cluster": request.cluster_id,
+                    },
+                )
             return True
 
         cluster = self.platform.cluster(request.cluster_id)
@@ -424,6 +532,21 @@ class CooRMv2:
                 node_ids=tuple(sorted(all_nodes)),
             )
         )
+        tracer = _obs.TRACER[0]
+        if tracer is not None:
+            tracer.emit(
+                now,
+                "rms",
+                "start",
+                {
+                    "app": session.app_id,
+                    "req": self._obs_req(request),
+                    "rtype": request.rtype.value,
+                    "nodes": len(all_nodes),
+                    "cluster": request.cluster_id,
+                },
+            )
+            self._obs_allocation(tracer)
         return True
 
     def _schedule_expiry(self, session: Session, request: Request) -> None:

@@ -108,6 +108,9 @@ class MetaScheduler:
         self._routed: Dict[str, List[Tuple[BaseApplication, int]]] = {
             m.name: [] for m in members
         }
+        #: Running per-member decision totals for the ``federation/load``
+        #: counter events (kept incrementally; ``decisions`` is O(n) to scan).
+        self._routed_totals: Dict[str, int] = {m.name: 0 for m in members}
 
     # ------------------------------------------------------------------ #
     def _snapshot(self) -> List[ClusterState]:
@@ -165,6 +168,7 @@ class MetaScheduler:
             time=now,
         )
         self.decisions.append(decision)
+        self._routed_totals[member.name] += 1
         tracer = _obs.TRACER[0]
         if tracer is not None:
             tracer.emit(
@@ -177,6 +181,15 @@ class MetaScheduler:
                     "routing": self.routing.name,
                     "group": decision.group,
                     "node_count": decision.node_count,
+                },
+            )
+            tracer.counter(
+                now,
+                "federation",
+                "load",
+                {
+                    name: float(total)
+                    for name, total in sorted(self._routed_totals.items())
                 },
             )
         metrics = _obs.METRICS[0]

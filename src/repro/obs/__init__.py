@@ -14,15 +14,31 @@ its plain path unless an instrument is activated with
   scheduling, event dispatch, store writes) feeding campaign ``meta.json``
   and the ``BENCH_*.json`` perf snapshots.
 
-``python -m repro obs`` (see :mod:`repro.obs.cli`) fronts all three:
-``summarize`` / ``export`` / ``diff`` / ``bench``.  :func:`logging_setup`
+On top of the instruments sits the **analytics layer**, pure functions of a
+recorded trace (hence byte-identical at any worker count):
+
+* :class:`TimelineBuilder` -- sim-time series (utilization, queue depth,
+  running/waiting job counts, federation load) sampled on a fixed grid.
+* :func:`build_audits` -- per-job lifecycle audits (queue wait, slowdown,
+  grow/shrink counts, wait breakdown by scheduler stage).
+* :class:`SLOSpec` / :func:`evaluate_slo` -- declarative service-level
+  objectives evaluated per run and aggregated by ``campaign report``.
+* :mod:`repro.obs.trajectory` -- the ``BENCH_*.json`` perf-trajectory
+  regression gate CI runs.
+
+``python -m repro obs`` (see :mod:`repro.obs.cli`) fronts all of it:
+``summarize`` / ``export`` / ``timeline`` / ``audit`` / ``slo`` /
+``report`` / ``trajectory`` / ``diff`` / ``bench``.  :func:`logging_setup`
 is the shared CLI logging configuration every command group uses.
 """
 from .hooks import METRICS, PROFILER, TRACER, observation_enabled, observe
+from .lifecycle import JobAudit, build_audits, summarize_audits
 from .logsetup import get_logger, logging_setup
 from .metrics import Histogram, MetricsRegistry
 from .profiler import PhaseProfiler
-from .tracer import EventTracer, TraceEvent, diff_events, load_jsonl
+from .slo import DEFAULT_SLO, SLOReport, SLOSpec, evaluate_slo
+from .timeline import Timeline, TimelineBuilder
+from .tracer import EventTracer, TraceEvent, diff_events, load_chrome, load_jsonl
 
 __all__ = [
     "TRACER",
@@ -34,9 +50,19 @@ __all__ = [
     "TraceEvent",
     "diff_events",
     "load_jsonl",
+    "load_chrome",
     "MetricsRegistry",
     "Histogram",
     "PhaseProfiler",
+    "Timeline",
+    "TimelineBuilder",
+    "JobAudit",
+    "build_audits",
+    "summarize_audits",
+    "SLOSpec",
+    "SLOReport",
+    "DEFAULT_SLO",
+    "evaluate_slo",
     "logging_setup",
     "get_logger",
 ]

@@ -1,6 +1,6 @@
 """The observability benchmark behind ``python -m repro obs bench``.
 
-Measures five things and writes them as one ``BENCH_7.json`` report:
+Measures five things and writes them as one ``BENCH_8.json`` report:
 
 * **Scheduler throughput** (requests/second for one scheduling pass), with
   observation disabled *and* enabled -- both must beat the 5,000 req/s
@@ -42,8 +42,8 @@ from .tracer import EventTracer
 
 __all__ = ["run_bench", "BENCH_FILE", "FLOORS"]
 
-#: Default report file name; the "7" ties the artefact to this PR's issue.
-BENCH_FILE = "BENCH_7.json"
+#: Default report file name; the "8" ties the artefact to this PR's issue.
+BENCH_FILE = "BENCH_8.json"
 
 #: Acceptance floors, identical to the standalone benchmark suites.
 FLOORS: Dict[str, float] = {
@@ -272,7 +272,7 @@ def run_bench(
 
     report: Dict[str, object] = {
         "bench": "repro.obs",
-        "issue": 7,
+        "issue": 8,
         "python": sys.version.split()[0],
         "floors": FLOORS,
         "results": results,

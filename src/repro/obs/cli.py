@@ -5,16 +5,27 @@ Commands::
     python -m repro obs export --scenario fig9-spontaneous --seed 1
     python -m repro obs export --scenario fig9 --seed 1 --format jsonl --out t.jsonl
     python -m repro obs summarize --scenario fig9 --seed 1
+    python -m repro obs timeline --scenario fig9 --seed 1
+    python -m repro obs audit --scenario fig9 --seed 1
+    python -m repro obs slo --scenario fig9 --seed 1 --spec default
+    python -m repro obs report --scenario fig9 --seed 1
+    python -m repro obs trajectory --dir .
     python -m repro obs diff a.trace.jsonl b.trace.jsonl
-    python -m repro obs bench --output BENCH_7.json
+    python -m repro obs bench --output BENCH_8.json
 
 ``export`` runs one scenario under the event tracer and writes the trace as
 Chrome ``trace_event`` JSON (open it in ``chrome://tracing`` or Perfetto) or
 canonical JSONL.  ``summarize`` prints the event and metric breakdown of one
-run.  ``diff`` compares two JSONL traces and pinpoints the first divergence
--- the exports are deterministic, so any difference is a real behavioural
-difference.  ``bench`` runs the observability benchmark suite and writes the
-``BENCH_7.json`` perf snapshot CI archives.
+run.  The analytics commands replay the deterministic trace: ``timeline``
+samples sim-time series (utilization, queue depth, job counts) on a fixed
+grid, ``audit`` derives per-job lifecycle statistics, ``slo`` evaluates a
+declarative SLO spec (exit 1 on violation) and ``report`` renders all of it
+as one text dashboard.  ``trajectory`` diffs the committed ``BENCH_*.json``
+perf snapshots and fails on a rate regression.  ``diff`` compares two JSONL
+traces and pinpoints the first divergence -- the exports are deterministic,
+so any difference is a real behavioural difference.  ``bench`` runs the
+observability benchmark suite and writes the ``BENCH_8.json`` perf snapshot
+CI archives.
 """
 from __future__ import annotations
 
@@ -65,6 +76,59 @@ def add_obs_commands(commands: argparse._SubParsersAction) -> None:
         "--scale", default=None, help="evaluation scale override (tiny/reduced/paper)"
     )
 
+    def scenario_command(name: str, help_text: str) -> argparse.ArgumentParser:
+        parser = actions.add_parser(name, help=help_text)
+        parser.add_argument(
+            "--scenario", required=True, help="built-in scenario name"
+        )
+        parser.add_argument("--seed", type=int, default=0, help="run seed (default 0)")
+        parser.add_argument(
+            "--scale", default=None,
+            help="evaluation scale override (tiny/reduced/paper)",
+        )
+        parser.add_argument(
+            "--json", action="store_true", help="emit canonical JSON instead of text"
+        )
+        parser.add_argument("--out", default=None, help="output file (default: stdout)")
+        return parser
+
+    timeline = scenario_command(
+        "timeline", "sample one run's sim-time series on a fixed grid"
+    )
+    timeline.add_argument(
+        "--samples", type=int, default=None,
+        help="grid intervals (default 60); the grid has samples+1 points",
+    )
+
+    scenario_command("audit", "derive per-job lifecycle audits from one run")
+
+    slo = scenario_command(
+        "slo", "evaluate one run against an SLO spec (exit 1 on violation)"
+    )
+    slo.add_argument(
+        "--spec", default="default",
+        help="'default' or a path to an SLO spec JSON file",
+    )
+
+    scenario_command(
+        "report", "render timeline + audits + SLO of one run as a text dashboard"
+    )
+
+    trajectory = actions.add_parser(
+        "trajectory", help="diff BENCH_*.json perf snapshots; fail on regression"
+    )
+    trajectory.add_argument(
+        "--dir", default=".", help="directory holding the BENCH_*.json snapshots"
+    )
+    trajectory.add_argument(
+        "--tolerance", type=float, default=None,
+        help="allowed fractional rate drop before failing (default 0.5)",
+    )
+    trajectory.add_argument(
+        "--self-test", action="store_true",
+        help="verify the gate trips on a synthetic regression, then exit",
+    )
+
     diff = actions.add_parser(
         "diff", help="compare two JSONL trace exports, pinpointing divergence"
     )
@@ -72,7 +136,7 @@ def add_obs_commands(commands: argparse._SubParsersAction) -> None:
     diff.add_argument("trace_b", help="second JSONL trace file")
 
     bench = actions.add_parser(
-        "bench", help="run the observability benchmark suite (BENCH_7.json)"
+        "bench", help="run the observability benchmark suite (BENCH_8.json)"
     )
     bench.add_argument(
         "--output", default=None, help="write the JSON report to this file"
@@ -132,9 +196,11 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    dropped = tracer.summary()["dropped"]
+    truncation = f" ({dropped} dropped past max_events)" if dropped else ""
     print(
         f"scenario {args.scenario!r} seed={args.seed}: "
-        f"{len(tracer)} trace events, {len(registry)} metrics"
+        f"{len(tracer)} trace events{truncation}, {len(registry)} metrics"
     )
     event_rows = [
         (cat, name, count)
@@ -154,6 +220,219 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
             )
         )
     return 0
+
+
+def _emit(args: argparse.Namespace, text: str) -> None:
+    """Write a command's output to ``--out`` or stdout."""
+    if args.out:
+        Path(args.out).write_text(
+            text if text.endswith("\n") else text + "\n", encoding="utf-8"
+        )
+        print(args.out)
+    else:
+        print(text)
+
+
+def _analytics_run(args: argparse.Namespace):
+    """Traced run + timeline + audits; shared by the analytics commands."""
+    from .lifecycle import build_audits
+    from .timeline import DEFAULT_SAMPLES, TimelineBuilder
+
+    tracer, _registry, _metrics = _traced_run(args.scenario, args.seed, args.scale)
+    samples = getattr(args, "samples", None) or DEFAULT_SAMPLES
+    timeline = TimelineBuilder(samples=samples).build(tracer.events)
+    audits = build_audits(tracer.events)
+    return tracer, timeline, audits
+
+
+def _timeline_text(timeline) -> str:
+    from .timeline import sparkline
+
+    lines = [
+        f"timeline: t=[{timeline.t0:g}, {timeline.t1:g}]s, "
+        f"{timeline.samples} intervals, {timeline.event_count} events, "
+        "capacity "
+        + (
+            ", ".join(f"{k}={v}" for k, v in sorted(timeline.capacity.items()))
+            or "unknown"
+        )
+    ]
+    width = max(len(name) for name in timeline.series) if timeline.series else 0
+    for name in sorted(timeline.series):
+        stats = timeline.stats(name)
+        lines.append(
+            f"  {name:<{width}}  {sparkline(timeline.series[name])}  "
+            f"min={stats['min']:g} mean={stats['mean']:.2f} max={stats['max']:g}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    try:
+        _tracer, timeline, _audits = _analytics_run(args)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    _emit(args, timeline.to_json() if args.json else _timeline_text(timeline))
+    return 0
+
+
+def _audit_text(audits) -> str:
+    from ..metrics.report import format_table
+    from .lifecycle import summarize_audits
+
+    def fmt(value, precision: str = ".1f"):
+        return "-" if value is None else format(value, precision)
+
+    rows = [
+        (
+            a.app,
+            fmt(a.queue_wait),
+            fmt(a.runtime),
+            fmt(a.bounded_slowdown, ".3f"),
+            a.grows,
+            a.shrinks,
+            f"{a.node_seconds:.0f}",
+            "killed" if a.killed else ("done" if a.end_ts is not None else "open"),
+        )
+        for a in audits
+    ]
+    table = format_table(
+        ["job", "wait s", "runtime s", "slowdown", "grows", "shrinks", "node-s", "state"],
+        rows,
+    )
+    summary = summarize_audits(audits)
+    summary_table = format_table(["statistic", "value"], sorted(summary.items()))
+    return f"{table}\n\n{summary_table}"
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from .lifecycle import audits_to_json
+
+    try:
+        _tracer, _timeline, audits = _analytics_run(args)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    _emit(args, audits_to_json(audits) if args.json else _audit_text(audits))
+    return 0
+
+
+def _slo_text(report) -> str:
+    lines = [
+        f"SLO spec {report.spec_name!r}: "
+        f"{'PASS' if report.passed else 'FAIL'} "
+        f"({report.violations} violation(s), {len(report.evaluated)} evaluated)"
+    ]
+    for r in report.results:
+        kind = r["kind"]
+        if r.get("skipped"):
+            lines.append(f"  [skip] {kind}: not measurable with these inputs")
+            continue
+        verdict = "ok  " if r["ok"] else "FAIL"
+        thresholds = ", ".join(
+            f"{k}={v}" for k, v in r.items() if k not in ("kind", "measured", "ok")
+        )
+        lines.append(f"  [{verdict}] {kind}: measured {r['measured']:g} ({thresholds})")
+    return "\n".join(lines)
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    import json
+
+    from .slo import DEFAULT_SLO, SLOSpec, evaluate_slo
+
+    try:
+        spec = DEFAULT_SLO if args.spec == "default" else SLOSpec.load(args.spec)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        _tracer, timeline, audits = _analytics_run(args)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    report = evaluate_slo(spec, audits, timeline)
+    _emit(
+        args,
+        json.dumps(report.to_dict(), sort_keys=True, allow_nan=False)
+        if args.json
+        else _slo_text(report),
+    )
+    return 0 if report.passed else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import json
+
+    from .slo import DEFAULT_SLO, evaluate_slo
+
+    try:
+        tracer, timeline, audits = _analytics_run(args)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    slo_report = evaluate_slo(DEFAULT_SLO, audits, timeline)
+    if args.json:
+        _emit(
+            args,
+            json.dumps(
+                {
+                    "scenario": args.scenario,
+                    "seed": args.seed,
+                    "trace": tracer.summary(),
+                    "timeline": timeline.to_dict(),
+                    "audits": [a.to_dict() for a in audits],
+                    "slo": slo_report.to_dict(),
+                },
+                sort_keys=True,
+                allow_nan=False,
+            ),
+        )
+        return 0
+    trace = tracer.summary()
+    truncation = f" ({trace['dropped']} dropped)" if trace["dropped"] else ""
+    sections = [
+        f"== obs report: scenario {args.scenario!r} seed={args.seed} ==",
+        f"trace: {trace['events']} events{truncation}",
+        "",
+        _timeline_text(timeline),
+        "",
+        f"-- job lifecycle ({len(audits)} jobs) --",
+        _audit_text(audits),
+        "",
+        _slo_text(slo_report),
+    ]
+    _emit(args, "\n".join(sections))
+    return 0
+
+
+def _cmd_trajectory(args: argparse.Namespace) -> int:
+    from .trajectory import (
+        DEFAULT_TOLERANCE,
+        format_report,
+        load_trajectory,
+        self_test,
+        trajectory_report,
+    )
+
+    tolerance = DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
+    if args.self_test:
+        report = self_test(tolerance=tolerance)
+        ok = report["self_test_ok"]
+        print(
+            "trajectory gate self-test: "
+            + ("OK (synthetic regression detected)" if ok else "FAILED")
+        )
+        return 0 if ok else 1
+    try:
+        snapshots = load_trajectory(args.dir)
+        report = trajectory_report(snapshots, tolerance=tolerance)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_report(report))
+    return 0 if report["passed"] else 1
 
 
 def _cmd_diff(args: argparse.Namespace) -> int:
@@ -196,6 +475,11 @@ def run_obs_command(args: argparse.Namespace) -> int:
     handlers = {
         "export": _cmd_export,
         "summarize": _cmd_summarize,
+        "timeline": _cmd_timeline,
+        "audit": _cmd_audit,
+        "slo": _cmd_slo,
+        "report": _cmd_report,
+        "trajectory": _cmd_trajectory,
         "diff": _cmd_diff,
         "bench": _cmd_bench,
     }

@@ -1,0 +1,292 @@
+"""Per-job lifecycle audits derived from the deterministic event trace.
+
+Every application the RMS serves leaves an ``rms``-category lifecycle trail
+(connect, submit, start, finish, disconnect/kill).  :func:`build_audits`
+replays that trail into one :class:`JobAudit` per application: submit and
+start times, queue wait, turnaround, (bounded) slowdown, grow/shrink counts
+of the live allocation, integrated node-seconds, and a breakdown of the
+queue wait by what the scheduler was doing with the job -- all pure
+functions of the trace, hence byte-identical at any campaign worker count.
+
+The wait breakdown attributes each interval between the job's ``scheduler``
+``fit`` events (before its first start) to the outcome the last fit
+reported: ``deferred`` (left unplaced), ``reserved`` (given a future
+reservation) or ``held`` (placed but waiting for the start pass);
+``pre_sched`` covers submit until the scheduler first considered the job.
+"""
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from .tracer import TraceEvent
+
+__all__ = [
+    "JobAudit",
+    "build_audits",
+    "summarize_audits",
+    "audits_to_json",
+    "percentile",
+]
+
+#: Bounded-slowdown runtime floor, seconds (the classic tau = 10 s).
+BOUNDED_SLOWDOWN_TAU = 10.0
+
+#: Queue-wait breakdown stages, in reporting order.
+WAIT_STAGES = ("pre_sched", "deferred", "reserved", "held")
+
+
+@dataclass
+class JobAudit:
+    """Lifecycle audit of one application (one "job") in a traced run."""
+
+    app: str
+    submit_ts: float
+    first_start_ts: Optional[float] = None
+    end_ts: Optional[float] = None
+    killed: bool = False
+    #: Requests submitted / started / finished over the whole lifetime.
+    submitted_requests: int = 0
+    started_requests: int = 0
+    finished_requests: int = 0
+    #: Allocation increases / decreases after the first start.
+    grows: int = 0
+    shrinks: int = 0
+    #: Integral of the live allocation over sim time.
+    node_seconds: float = 0.0
+    #: Queue-wait seconds attributed to each scheduler stage (see module doc).
+    wait_breakdown: Dict[str, float] = field(
+        default_factory=lambda: {stage: 0.0 for stage in WAIT_STAGES}
+    )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def queue_wait(self) -> Optional[float]:
+        """Submit to first start, seconds; None when the job never started."""
+        if self.first_start_ts is None:
+            return None
+        return self.first_start_ts - self.submit_ts
+
+    @property
+    def runtime(self) -> Optional[float]:
+        if self.first_start_ts is None or self.end_ts is None:
+            return None
+        return self.end_ts - self.first_start_ts
+
+    @property
+    def turnaround(self) -> Optional[float]:
+        if self.end_ts is None:
+            return None
+        return self.end_ts - self.submit_ts
+
+    @property
+    def slowdown(self) -> Optional[float]:
+        """Turnaround over runtime (stretch); None until the job finished."""
+        runtime, turnaround = self.runtime, self.turnaround
+        if runtime is None or turnaround is None or runtime <= 0:
+            return None
+        return turnaround / runtime
+
+    @property
+    def bounded_slowdown(self) -> Optional[float]:
+        """max(1, turnaround / max(runtime, tau)) -- robust to tiny jobs."""
+        runtime, turnaround = self.runtime, self.turnaround
+        if runtime is None or turnaround is None:
+            return None
+        return max(1.0, turnaround / max(runtime, BOUNDED_SLOWDOWN_TAU))
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        def clean(value: Optional[float]) -> Optional[float]:
+            if value is None or not math.isfinite(value):
+                return None
+            return float(value)
+
+        return {
+            "app": self.app,
+            "submit_ts": self.submit_ts,
+            "first_start_ts": clean(self.first_start_ts),
+            "end_ts": clean(self.end_ts),
+            "killed": self.killed,
+            "submitted_requests": self.submitted_requests,
+            "started_requests": self.started_requests,
+            "finished_requests": self.finished_requests,
+            "grows": self.grows,
+            "shrinks": self.shrinks,
+            "node_seconds": round(self.node_seconds, 6),
+            "queue_wait": clean(self.queue_wait),
+            "runtime": clean(self.runtime),
+            "turnaround": clean(self.turnaround),
+            "slowdown": clean(self.slowdown),
+            "bounded_slowdown": clean(self.bounded_slowdown),
+            "wait_breakdown": {
+                stage: round(self.wait_breakdown.get(stage, 0.0), 6)
+                for stage in WAIT_STAGES
+            },
+        }
+
+
+class _JobTracker:
+    """Mutable per-app state while replaying the stream."""
+
+    __slots__ = ("audit", "alloc", "alloc_since", "fit_stage", "fit_since", "ended")
+
+    def __init__(self, audit: JobAudit):
+        self.audit = audit
+        self.alloc = 0.0
+        self.alloc_since = audit.submit_ts
+        #: Pending wait-breakdown attribution: stage name + interval start.
+        self.fit_stage: Optional[str] = "pre_sched"
+        self.fit_since: float = audit.submit_ts
+        self.ended = False
+
+    def integrate_to(self, ts: float) -> None:
+        if self.alloc > 0 and ts > self.alloc_since:
+            self.audit.node_seconds += self.alloc * (ts - self.alloc_since)
+        self.alloc_since = ts
+
+    def change_alloc(self, ts: float, delta: float) -> None:
+        self.integrate_to(ts)
+        before = self.alloc
+        self.alloc = max(0.0, self.alloc + delta)
+        if self.audit.first_start_ts is not None and ts > self.audit.first_start_ts:
+            if self.alloc > before:
+                self.audit.grows += 1
+            elif self.alloc < before and self.alloc > 0:
+                self.audit.shrinks += 1
+
+    def attribute_wait(self, ts: float, next_stage: Optional[str]) -> None:
+        """Close the current wait interval and open the next one."""
+        if self.fit_stage is not None and ts > self.fit_since:
+            breakdown = self.audit.wait_breakdown
+            breakdown[self.fit_stage] = breakdown.get(self.fit_stage, 0.0) + (
+                ts - self.fit_since
+            )
+        self.fit_stage = next_stage
+        self.fit_since = ts
+
+
+def _classify_fit(args: Mapping[str, object]) -> str:
+    """Wait stage implied by one scheduler ``fit`` outcome for the app."""
+    if float(args.get("deferred", 0) or 0) > 0:
+        return "deferred"
+    if float(args.get("reserved", 0) or 0) > 0:
+        return "reserved"
+    return "held"
+
+
+def build_audits(events: Iterable[TraceEvent]) -> List[JobAudit]:
+    """One :class:`JobAudit` per application seen in *events* (sorted by app).
+
+    Applications are keyed by their deterministic RMS ids; jobs that never
+    disconnected have their ``end_ts`` clamped to the last event time of the
+    stream (open-ended sessions are normal for scenario drivers that stop
+    the simulation rather than tearing sessions down).
+    """
+    events = list(events)
+    trackers: Dict[str, _JobTracker] = {}
+    last_ts = events[-1].ts if events else 0.0
+
+    def tracker_of(app: str, ts: float) -> _JobTracker:
+        tracked = trackers.get(app)
+        if tracked is None:
+            tracked = trackers[app] = _JobTracker(JobAudit(app=app, submit_ts=ts))
+        return tracked
+
+    for e in events:
+        if e.cat == "scheduler" and e.name == "fit":
+            app = str(e.args.get("app", ""))
+            tracked = trackers.get(app)
+            if tracked is not None and tracked.audit.first_start_ts is None:
+                tracked.attribute_wait(e.ts, _classify_fit(e.args))
+            continue
+        if e.cat != "rms":
+            continue
+        app = str(e.args.get("app", ""))
+        if not app:
+            continue
+        if e.name == "connect":
+            tracker_of(app, e.ts)
+        elif e.name == "submit":
+            tracker_of(app, e.ts).audit.submitted_requests += 1
+        elif e.name == "start":
+            tracked = tracker_of(app, e.ts)
+            tracked.audit.started_requests += 1
+            if tracked.audit.first_start_ts is None:
+                tracked.audit.first_start_ts = e.ts
+                tracked.attribute_wait(e.ts, None)
+            tracked.change_alloc(e.ts, float(e.args.get("nodes", 0) or 0))
+        elif e.name == "finish":
+            tracked = tracker_of(app, e.ts)
+            tracked.audit.finished_requests += 1
+            tracked.change_alloc(e.ts, -float(e.args.get("nodes", 0) or 0))
+        elif e.name in ("disconnect", "kill"):
+            tracked = tracker_of(app, e.ts)
+            if not tracked.ended:
+                tracked.integrate_to(e.ts)
+                tracked.audit.end_ts = e.ts
+                tracked.audit.killed = e.name == "kill"
+                if tracked.audit.first_start_ts is None:
+                    tracked.attribute_wait(e.ts, None)
+                tracked.ended = True
+
+    audits: List[JobAudit] = []
+    for app in sorted(trackers):
+        tracked = trackers[app]
+        if not tracked.ended:
+            tracked.integrate_to(last_ts)
+            tracked.audit.end_ts = last_ts
+            if tracked.audit.first_start_ts is None:
+                tracked.attribute_wait(last_ts, None)
+        audits.append(tracked.audit)
+    return audits
+
+
+def percentile(values: List[float], pct: float) -> float:
+    """Deterministic nearest-rank percentile (pct in [0, 100])."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if pct <= 0:
+        return ordered[0]
+    rank = math.ceil(pct / 100.0 * len(ordered))
+    return ordered[min(len(ordered), max(1, rank)) - 1]
+
+
+def summarize_audits(audits: List[JobAudit]) -> Dict[str, float]:
+    """Aggregate statistics over a list of audits (flat, JSON-safe)."""
+    waits = [a.queue_wait for a in audits if a.queue_wait is not None]
+    slowdowns = [a.bounded_slowdown for a in audits if a.bounded_slowdown is not None]
+    breakdown_totals = {stage: 0.0 for stage in WAIT_STAGES}
+    for audit in audits:
+        for stage in WAIT_STAGES:
+            breakdown_totals[stage] += audit.wait_breakdown.get(stage, 0.0)
+    summary: Dict[str, float] = {
+        "jobs": float(len(audits)),
+        "started": float(sum(1 for a in audits if a.first_start_ts is not None)),
+        "killed": float(sum(1 for a in audits if a.killed)),
+        "grows": float(sum(a.grows for a in audits)),
+        "shrinks": float(sum(a.shrinks for a in audits)),
+        "node_seconds": round(sum(a.node_seconds for a in audits), 6),
+        "wait_mean": round(sum(waits) / len(waits), 6) if waits else 0.0,
+        "wait_p50": round(percentile(waits, 50.0), 6),
+        "wait_p95": round(percentile(waits, 95.0), 6),
+        "wait_max": round(max(waits), 6) if waits else 0.0,
+        "bounded_slowdown_mean": (
+            round(sum(slowdowns) / len(slowdowns), 6) if slowdowns else 0.0
+        ),
+        "bounded_slowdown_p95": round(percentile(slowdowns, 95.0), 6),
+        "bounded_slowdown_max": round(max(slowdowns), 6) if slowdowns else 0.0,
+    }
+    for stage in WAIT_STAGES:
+        summary[f"wait_{stage}_seconds"] = round(breakdown_totals[stage], 6)
+    return summary
+
+
+def audits_to_json(audits: List[JobAudit]) -> str:
+    """Canonical JSON of a full audit list; the golden-digest format."""
+    return json.dumps(
+        [a.to_dict() for a in audits], sort_keys=True, allow_nan=False
+    )

@@ -1,0 +1,254 @@
+"""Sim-time timelines reconstructed from deterministic event traces.
+
+A :class:`TimelineBuilder` replays an :class:`~repro.obs.tracer.EventTracer`
+stream (live events or a parsed JSONL export) into step-function series --
+cluster allocation and utilization, scheduler queue depth, running/waiting/
+completed job counts, per-cluster federation load, cumulative engine events
+-- and samples every series on one **fixed sim-time grid**.  Everything is a
+pure function of the event stream, so a timeline built from a byte-identical
+trace is itself byte-identical regardless of worker count, and the fig9
+timeline is golden-digest-pinned next to the trace itself.
+
+Series are named with the same bracket convention the federation metrics
+use (``alloc[cluster0]``), so flat JSON consumers need no nesting rules.
+"""
+from __future__ import annotations
+
+import json
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping
+
+from .tracer import TraceEvent
+
+__all__ = ["Timeline", "TimelineBuilder", "sparkline"]
+
+#: Default number of grid intervals (the grid has ``samples + 1`` points).
+DEFAULT_SAMPLES = 60
+
+#: Glyph ramp of :func:`sparkline`, lowest to highest.
+_SPARK_GLYPHS = " ▁▂▃▄▅▆▇█"
+
+
+@dataclass
+class Timeline:
+    """Sampled sim-time series of one run, JSON round-trippable."""
+
+    #: First and last grid time (simulated seconds).
+    t0: float
+    t1: float
+    #: Number of grid intervals; the grid has ``samples + 1`` points.
+    samples: int
+    #: Per-cluster node capacity seen in the trace (empty when untraced).
+    capacity: Dict[str, int] = field(default_factory=dict)
+    #: Series name -> one value per grid point.
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    #: Number of trace events the timeline was built from.
+    event_count: int = 0
+
+    # ------------------------------------------------------------------ #
+    def times(self) -> List[float]:
+        """The sampling grid itself."""
+        if self.samples <= 0:
+            return [self.t0]
+        step = (self.t1 - self.t0) / self.samples
+        return [self.t0 + i * step for i in range(self.samples + 1)]
+
+    def stats(self, name: str) -> Dict[str, float]:
+        """min/mean/max of one series (KeyError on unknown names)."""
+        values = self.series[name]
+        if not values:
+            return {"min": 0.0, "mean": 0.0, "max": 0.0}
+        return {
+            "min": min(values),
+            "mean": sum(values) / len(values),
+            "max": max(values),
+        }
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "t0": self.t0,
+            "t1": self.t1,
+            "samples": self.samples,
+            "capacity": dict(sorted(self.capacity.items())),
+            "series": {name: list(values) for name, values in sorted(self.series.items())},
+            "event_count": self.event_count,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Timeline":
+        return cls(
+            t0=float(data["t0"]),
+            t1=float(data["t1"]),
+            samples=int(data["samples"]),
+            capacity={str(k): int(v) for k, v in dict(data.get("capacity", {})).items()},
+            series={
+                str(name): [float(v) for v in values]
+                for name, values in dict(data.get("series", {})).items()
+            },
+            event_count=int(data.get("event_count", 0)),
+        )
+
+    def to_json(self) -> str:
+        """Canonical (sorted-keys, no-NaN) JSON; the golden-digest format."""
+        return json.dumps(self.to_dict(), sort_keys=True, allow_nan=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Timeline":
+        return cls.from_dict(json.loads(text))
+
+
+class _StepSeries:
+    """Breakpoints of one piecewise-constant series, sampled by bisection."""
+
+    __slots__ = ("times", "values")
+
+    def __init__(self) -> None:
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, ts: float, value: float) -> None:
+        if self.times and self.times[-1] == ts:
+            self.values[-1] = value  # last write at one instant wins
+        else:
+            self.times.append(ts)
+            self.values.append(value)
+
+    def sample(self, grid: Iterable[float], initial: float = 0.0) -> List[float]:
+        out: List[float] = []
+        for t in grid:
+            i = bisect_right(self.times, t)
+            out.append(self.values[i - 1] if i else initial)
+        return out
+
+
+class TimelineBuilder:
+    """Builds a :class:`Timeline` from a deterministic event stream.
+
+    Parameters
+    ----------
+    samples:
+        Number of grid intervals the series are sampled over.  The grid is
+        ``t0 + k * (t1 - t0) / samples`` -- a pure function of the trace, so
+        identical traces yield identical timelines.
+    """
+
+    def __init__(self, samples: int = DEFAULT_SAMPLES):
+        if samples <= 0:
+            raise ValueError("samples must be positive")
+        self.samples = int(samples)
+
+    # ------------------------------------------------------------------ #
+    def build(self, events: Iterable[TraceEvent]) -> Timeline:
+        """Replay *events* (in seq order) into a sampled timeline."""
+        events = list(events)
+        capacity: Dict[str, int] = {}
+        series: Dict[str, _StepSeries] = {}
+        # Job state machine: connect -> waiting, first start -> running,
+        # disconnect/kill -> completed.
+        job_state: Dict[str, str] = {}
+        counts = {"waiting": 0, "running": 0, "completed": 0}
+        alloc_now: Dict[str, float] = {}
+        dispatched = 0
+
+        def step(name: str, ts: float, value: float) -> None:
+            bucket = series.get(name)
+            if bucket is None:
+                bucket = series[name] = _StepSeries()
+            bucket.record(ts, value)
+
+        def job_transition(ts: float, app: str, state: str) -> None:
+            previous = job_state.get(app)
+            if previous == state or previous == "completed":
+                return
+            if previous is not None:
+                counts[previous] -= 1
+            job_state[app] = state
+            counts[state] += 1
+            step("jobs.waiting", ts, float(counts["waiting"]))
+            step("jobs.running", ts, float(counts["running"]))
+            step("jobs.completed", ts, float(counts["completed"]))
+
+        for e in events:
+            if e.cat == "engine" and e.name == "dispatch":
+                dispatched += 1
+                step("engine.dispatched", e.ts, float(dispatched))
+            elif e.cat == "scheduler" and e.name == "queue_depth":
+                step("queue.apps", e.ts, float(e.args.get("apps", 0)))
+                step("queue.pending", e.ts, float(e.args.get("pending", 0)))
+            elif e.cat == "rms":
+                if e.name == "platform":
+                    clusters = e.args.get("clusters", {})
+                    if isinstance(clusters, Mapping):
+                        for cid, nodes in clusters.items():
+                            capacity[str(cid)] = int(nodes)
+                elif e.name == "allocated":
+                    total = 0.0
+                    for cid, nodes in e.args.items():
+                        value = float(nodes)
+                        alloc_now[str(cid)] = value
+                        total += value
+                        step(f"alloc[{cid}]", e.ts, value)
+                    step("alloc.total", e.ts, total)
+                    cap = float(sum(capacity.values()))
+                    if cap > 0:
+                        step("util.pct", e.ts, 100.0 * total / cap)
+                elif e.name == "connect":
+                    job_transition(e.ts, str(e.args.get("app", "")), "waiting")
+                elif e.name == "start":
+                    job_transition(e.ts, str(e.args.get("app", "")), "running")
+                elif e.name in ("disconnect", "kill"):
+                    job_transition(e.ts, str(e.args.get("app", "")), "completed")
+            elif e.cat == "federation" and e.name == "load":
+                for cluster, total in e.args.items():
+                    step(f"fed.load[{cluster}]", e.ts, float(total))
+
+        if events:
+            t0 = min(e.ts for e in events)
+            t1 = max(e.ts for e in events)
+        else:
+            t0 = t1 = 0.0
+        timeline = Timeline(
+            t0=t0,
+            t1=t1,
+            samples=self.samples,
+            capacity=capacity,
+            event_count=len(events),
+        )
+        grid = timeline.times()
+        timeline.series = {
+            name: bucket.sample(grid) for name, bucket in sorted(series.items())
+        }
+        return timeline
+
+
+def sparkline(values: List[float], width: int = 48) -> str:
+    """Render *values* as a unicode block sparkline of at most *width* cells.
+
+    Values are min-max normalised over the series; a flat series renders as
+    a run of the lowest non-empty glyph so "present but constant" remains
+    distinguishable from "no data".
+    """
+    if not values:
+        return ""
+    if len(values) > width:
+        # Downsample by averaging equal chunks -- deterministic and stable.
+        chunk = len(values) / width
+        downsampled = []
+        for i in range(width):
+            lo_i = int(i * chunk)
+            hi_i = max(lo_i + 1, int((i + 1) * chunk))
+            window = values[lo_i:hi_i]
+            downsampled.append(sum(window) / len(window))
+        values = downsampled
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _SPARK_GLYPHS[1] * len(values)
+    span = hi - lo
+    ramp = _SPARK_GLYPHS[1:]
+    out = []
+    for v in values:
+        index = int((v - lo) / span * (len(ramp) - 1))
+        out.append(ramp[index])
+    return "".join(out)

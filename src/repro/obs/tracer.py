@@ -23,12 +23,17 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from .logsetup import get_logger
+
 __all__ = [
     "TraceEvent",
     "EventTracer",
     "load_jsonl",
+    "load_chrome",
     "diff_events",
 ]
+
+_LOG = get_logger("obs")
 
 #: Recognised Chrome ``trace_event`` phases: instant and counter events.
 PHASES = ("i", "C")
@@ -108,6 +113,15 @@ class EventTracer:
         seq = self._seq
         self._seq = seq + 1
         if len(self.events) >= self.max_events:
+            if self.dropped == 0:
+                # One warning per tracer, never per event: a long run past
+                # the cap would otherwise flood stderr.  The count keeps
+                # accumulating and lands in every summary and export.
+                _LOG.warning(
+                    "event tracer reached max_events=%d; further events are "
+                    "counted as dropped, not stored",
+                    self.max_events,
+                )
             self.dropped += 1
             return
         self.events.append(
@@ -143,6 +157,14 @@ class EventTracer:
             for e in self.events
             if e.cat == cat and (name is None or e.name == name)
         ]
+
+    def summary(self) -> Dict[str, int]:
+        """Recorded/dropped/total event counts (``dropped`` is explicit)."""
+        return {
+            "events": len(self.events),
+            "dropped": self.dropped,
+            "emitted": len(self.events) + self.dropped,
+        }
 
     # ------------------------------------------------------------------ #
     # Export
@@ -200,6 +222,9 @@ class EventTracer:
                 "ts": round(e.ts * 1e6, 3),
                 "pid": 1,
                 "tid": tid_of[e.cat],
+                # Emission order; Chrome ignores unknown keys, and carrying
+                # it makes the export lossless (see ``load_chrome``).
+                "seq": e.seq,
                 "args": dict(e.args),
             }
             if e.ph == "i":
@@ -221,28 +246,83 @@ class EventTracer:
 # Reading exports back (the ``obs diff`` command and the golden tests)
 # --------------------------------------------------------------------- #
 def load_jsonl(text: str) -> List[TraceEvent]:
-    """Parse a JSONL export back into events (truncation markers skipped)."""
+    """Parse a JSONL export back into events (truncation markers skipped).
+
+    Raises :class:`ValueError` with the 1-based line number on malformed
+    JSON, a non-object line, or an event record missing required keys, so a
+    corrupted trace file points at its first broken line instead of a bare
+    parser traceback.
+    """
     events: List[TraceEvent] = []
-    for line in text.splitlines():
+    for lineno, line in enumerate(text.splitlines(), start=1):
         line = line.strip()
         if not line:
             continue
-        data = json.loads(line)
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {lineno}: invalid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"line {lineno}: expected a JSON object, got {type(data).__name__}"
+            )
         if "truncated" in data:
             continue
-        events.append(TraceEvent.from_dict(data))
+        try:
+            events.append(TraceEvent.from_dict(data))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(
+                f"line {lineno}: not a valid trace event ({exc!r}): {line[:120]}"
+            ) from exc
+    return events
+
+
+def load_chrome(text: str) -> List[TraceEvent]:
+    """Parse a Chrome ``trace_event`` export back into events.
+
+    The inverse of :meth:`EventTracer.to_chrome`: metadata events are
+    skipped, thread ids map back to categories via the ``thread_name``
+    records, trace microseconds become simulated seconds, and the carried
+    ``seq`` keys restore the exact emission order.  Exact up to the
+    microsecond rounding of ``ts`` (sub-microsecond simulated times do not
+    survive; every whole-microsecond time round-trips bit-for-bit).
+    """
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"invalid Chrome trace JSON: {exc}") from exc
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        raise ValueError("not a Chrome trace_event document (no 'traceEvents')")
+    events: List[TraceEvent] = []
+    for record in document["traceEvents"]:
+        if record.get("ph") == "M":
+            continue
+        try:
+            events.append(
+                TraceEvent(
+                    ts=float(record["ts"]) / 1e6,
+                    seq=int(record["seq"]),
+                    cat=str(record["cat"]),
+                    name=str(record["name"]),
+                    ph=str(record.get("ph", "i")),
+                    args=dict(record.get("args", {}) or {}),
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed trace_event record ({exc!r}): {record!r}") from exc
+    events.sort(key=lambda e: e.seq)
     return events
 
 
 def diff_events(
-    a: Sequence[TraceEvent], b: Sequence[TraceEvent], context: int = 3
+    a: Sequence[TraceEvent], b: Sequence[TraceEvent], context: int = 2
 ) -> List[str]:
     """Human-readable description of where two event streams diverge.
 
     Returns an empty list when the streams are identical; otherwise a list
-    of description lines: the first divergent index with *context* events of
-    each stream around it, or the length mismatch when one stream is a
-    prefix of the other.
+    of description lines: the first divergent index with *context* (default
+    +-2) surrounding events of each stream, seq numbers included, or the
+    length mismatch when one stream is a prefix of the other.
     """
     limit = min(len(a), len(b))
     for i in range(limit):
@@ -254,8 +334,8 @@ def diff_events(
                     marker = ">>" if j == i else "  "
                     e = stream[j]
                     lines.append(
-                        f"{marker} {side}[{j}] t={e.ts:g} {e.cat}/{e.name} "
-                        f"{dict(e.args)}"
+                        f"{marker} {side}[{j}] seq={e.seq} t={e.ts:g} "
+                        f"{e.cat}/{e.name} {dict(e.args)}"
                     )
             return lines
     if len(a) != len(b):

@@ -1,0 +1,225 @@
+"""Performance trajectory across the repo's committed ``BENCH_*.json`` files.
+
+Every performance-focused PR commits a ``BENCH_<issue>.json`` snapshot
+(measured rates plus the floors they were gated against).  This module turns
+that convention into an explicit regression gate: :func:`load_trajectory`
+collects the snapshots in issue order, :func:`diff_latest` compares the
+newest snapshot's measured rates against the previous one, and
+:func:`trajectory_report` flags any rate that fell by more than a tolerance
+fraction.  CI runs the gate after producing the current snapshot, so a perf
+regression fails the build with the exact metric and ratio -- not a vague
+"benchmarks feel slower".
+
+Rates are every finite ``results`` entry named ``*_per_second`` (higher is
+better).  The default tolerance is deliberately loose (50 %) because
+snapshots committed from different machines vary; the absolute floors inside
+each snapshot remain the tight per-machine gate.
+"""
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "BenchSnapshot",
+    "load_trajectory",
+    "diff_latest",
+    "trajectory_report",
+    "self_test",
+    "format_report",
+]
+
+#: Snapshot filename convention; the captured group is the issue number.
+BENCH_PATTERN = re.compile(r"^BENCH_(\d+)\.json$")
+
+#: Default allowed fractional drop of a rate before it counts as a
+#: regression (0.5 == the rate halved).
+DEFAULT_TOLERANCE = 0.5
+
+
+@dataclass(frozen=True)
+class BenchSnapshot:
+    """One parsed ``BENCH_<issue>.json``: the issue number and its rates."""
+
+    issue: int
+    filename: str
+    #: Measured rates, ``metric name -> events/requests per second``.
+    rates: Mapping[str, float]
+
+    @classmethod
+    def from_document(cls, filename: str, data: Mapping[str, object]) -> "BenchSnapshot":
+        match = BENCH_PATTERN.match(os.path.basename(filename))
+        issue = int(match.group(1)) if match else int(data.get("issue", 0))
+        results = data.get("results", {})
+        if not isinstance(results, Mapping):
+            raise ValueError(f"{filename}: 'results' is not an object")
+        rates: Dict[str, float] = {}
+        for name, value in results.items():
+            if not str(name).endswith("_per_second"):
+                continue
+            try:
+                rate = float(value)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                continue
+            if rate == rate and rate not in (float("inf"), float("-inf")):
+                rates[str(name)] = rate
+        return cls(issue=issue, filename=os.path.basename(filename), rates=rates)
+
+
+def load_trajectory(directory: str) -> List[BenchSnapshot]:
+    """Parse every ``BENCH_*.json`` under *directory*, sorted by issue.
+
+    Raises :class:`ValueError` on a snapshot that exists but cannot be
+    parsed -- a corrupt committed benchmark file is a repo bug, not a
+    condition to skip silently.
+    """
+    snapshots: List[Tuple[int, BenchSnapshot]] = []
+    for entry in sorted(os.listdir(directory)):
+        if not BENCH_PATTERN.match(entry):
+            continue
+        path = os.path.join(directory, entry)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"{entry}: unreadable benchmark snapshot: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ValueError(f"{entry}: benchmark snapshot is not a JSON object")
+        snapshot = BenchSnapshot.from_document(entry, data)
+        snapshots.append((snapshot.issue, snapshot))
+    snapshots.sort(key=lambda pair: pair[0])
+    return [snapshot for _issue, snapshot in snapshots]
+
+
+def diff_latest(
+    snapshots: List[BenchSnapshot], tolerance: float = DEFAULT_TOLERANCE
+) -> List[Dict[str, object]]:
+    """Compare the newest snapshot's rates against the previous snapshot.
+
+    Returns one entry per metric present in **both** snapshots: previous and
+    latest rate, their ratio, and whether the drop exceeds *tolerance*
+    (``latest < previous * (1 - tolerance)``).  Metrics that only exist on
+    one side are reported as ``added`` / ``removed`` with no verdict.
+    """
+    if not 0 <= tolerance < 1:
+        raise ValueError("tolerance must be in [0, 1)")
+    if len(snapshots) < 2:
+        return []
+    previous, latest = snapshots[-2], snapshots[-1]
+    entries: List[Dict[str, object]] = []
+    for name in sorted(set(previous.rates) | set(latest.rates)):
+        before = previous.rates.get(name)
+        after = latest.rates.get(name)
+        if before is None:
+            entries.append({"metric": name, "status": "added", "latest": after})
+            continue
+        if after is None:
+            entries.append({"metric": name, "status": "removed", "previous": before})
+            continue
+        ratio = after / before if before > 0 else float("inf")
+        regressed = after < before * (1.0 - tolerance)
+        entries.append(
+            {
+                "metric": name,
+                "status": "regressed" if regressed else (
+                    "improved" if after > before else "held"
+                ),
+                "previous": before,
+                "latest": after,
+                "ratio": round(ratio, 4),
+            }
+        )
+    return entries
+
+
+def trajectory_report(
+    snapshots: List[BenchSnapshot],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Dict[str, object]:
+    """Full gate verdict over a loaded trajectory.
+
+    With fewer than two snapshots there is nothing to compare; the report
+    passes with an explanatory note (a fresh repo must not fail its own
+    first benchmark run).
+    """
+    report: Dict[str, object] = {
+        "snapshots": [
+            {"issue": s.issue, "file": s.filename, "metrics": len(s.rates)}
+            for s in snapshots
+        ],
+        "tolerance": tolerance,
+    }
+    if len(snapshots) < 2:
+        report["passed"] = True
+        report["comparisons"] = []
+        report["regressions"] = []
+        report["note"] = "fewer than two snapshots; nothing to compare"
+        return report
+    comparisons = diff_latest(snapshots, tolerance=tolerance)
+    regressions = [c for c in comparisons if c.get("status") == "regressed"]
+    report["passed"] = not regressions
+    report["comparisons"] = comparisons
+    report["regressions"] = regressions
+    report["previous_issue"] = snapshots[-2].issue
+    report["latest_issue"] = snapshots[-1].issue
+    return report
+
+
+def self_test(tolerance: float = DEFAULT_TOLERANCE) -> Dict[str, object]:
+    """Prove the gate trips: diff a synthetic pair with an injected regression.
+
+    Returns the report of the synthetic comparison; callers assert that
+    ``passed`` is False and exactly the injected metric is flagged.  CI runs
+    this before the real gate so a silently-broken comparator can never
+    green-light a regression.
+    """
+    good = BenchSnapshot(
+        issue=1,
+        filename="BENCH_1.json",
+        rates={"alpha_per_second": 1000.0, "beta_per_second": 500.0},
+    )
+    # beta collapses far past any sane tolerance; alpha holds.
+    bad = BenchSnapshot(
+        issue=2,
+        filename="BENCH_2.json",
+        rates={"alpha_per_second": 1000.0, "beta_per_second": 1.0},
+    )
+    report = trajectory_report([good, bad], tolerance=tolerance)
+    regressed = {c["metric"] for c in report["regressions"]}  # type: ignore[index]
+    report["self_test_ok"] = (
+        report["passed"] is False and regressed == {"beta_per_second"}
+    )
+    return report
+
+
+def format_report(report: Mapping[str, object]) -> str:
+    """Render a trajectory report as the text CI prints."""
+    lines = ["perf trajectory:"]
+    for snap in report.get("snapshots", []):  # type: ignore[union-attr]
+        lines.append(
+            f"  BENCH issue {snap['issue']:>3}  {snap['file']}  "
+            f"({snap['metrics']} rate metrics)"
+        )
+    note = report.get("note")
+    if note:
+        lines.append(f"  {note}")
+        return "\n".join(lines)
+    lines.append(
+        f"  comparing issue {report['previous_issue']} -> "
+        f"{report['latest_issue']} (tolerance {float(report['tolerance']):.0%} drop)"
+    )
+    for entry in report.get("comparisons", []):  # type: ignore[union-attr]
+        status = entry["status"]
+        if status in ("added", "removed"):
+            lines.append(f"    {entry['metric']}: {status}")
+            continue
+        lines.append(
+            f"    {entry['metric']}: {entry['previous']:.1f} -> "
+            f"{entry['latest']:.1f} ({entry['ratio']:.2f}x) [{status}]"
+        )
+    verdict = "PASS" if report.get("passed") else "FAIL"
+    lines.append(f"  verdict: {verdict}")
+    return "\n".join(lines)

@@ -1,13 +1,21 @@
-"""Regenerate the golden trace digest under ``tests/data/golden_obs/``.
+"""Regenerate the golden trace digests under ``tests/data/golden_obs/``.
 
-The digest pins the **byte-exact** JSONL trace export of the fig9 scenario
-at its canonical campaign seed: event count, per-(category, name) counts,
-the first few JSONL lines verbatim, and the SHA-256 of the full export.
+Two fixtures are pinned, both from the fig9 scenario at its canonical
+campaign seed:
+
+* ``fig9_trace.json`` -- the **byte-exact** JSONL trace export: event
+  count, per-(category, name) counts, the first few JSONL lines verbatim,
+  and the SHA-256 of the full export.
+* ``fig9_analytics.json`` -- the **byte-exact** analytics derived from that
+  trace: SHA-256 of the canonical timeline JSON and of the canonical audit
+  list JSON, plus a few headline values for human-readable drift reports.
+
 ``tests/regression/test_obs_golden.py`` re-runs the scenario under the
-tracer and compares -- the trace stream is required to be deterministic, so
-any drift is a real behaviour change in the engine, the scheduler or the
-instrumentation, and must come with a regenerated fixture and an
-explanation in the commit that carries it.
+tracer and compares -- the trace stream and everything derived from it are
+required to be deterministic, so any drift is a real behaviour change in
+the engine, the scheduler, the instrumentation or the analytics, and must
+come with a regenerated fixture and an explanation in the commit that
+carries it.
 
 Run ONLY after verifying a change is intentional::
 
@@ -31,8 +39,8 @@ HEAD_LINES = 5
 GOLDEN_OBS_DIR = Path(__file__).resolve().parent.parent / "data" / "golden_obs"
 
 
-def golden_trace_digest(name: str = TRACED_SCENARIO) -> dict:
-    """Run one scenario under the tracer and digest its JSONL export."""
+def _traced_scenario(name: str) -> tuple:
+    """Run one scenario under the tracer at its canonical campaign seed."""
     spec = builtin_scenarios()[name]
     seed = derive_seed(0, name, 0)
     tracer = EventTracer()
@@ -40,6 +48,10 @@ def golden_trace_digest(name: str = TRACED_SCENARIO) -> dict:
     with observe(tracer=tracer):
         get_runner(spec.runner)(spec, seed)
     consume_provenance()
+    return tracer, seed
+
+
+def _trace_digest(tracer: EventTracer, name: str, seed: int) -> dict:
     text = tracer.to_jsonl()
     return {
         "scenario": name,
@@ -54,14 +66,57 @@ def golden_trace_digest(name: str = TRACED_SCENARIO) -> dict:
     }
 
 
+def _analytics_digest(tracer: EventTracer, name: str, seed: int) -> dict:
+    from repro.obs.lifecycle import audits_to_json, build_audits, summarize_audits
+    from repro.obs.timeline import TimelineBuilder
+
+    timeline = TimelineBuilder().build(tracer.events)
+    audits = build_audits(tracer.events)
+    summary = summarize_audits(audits)
+    return {
+        "scenario": name,
+        "seed": seed,
+        "timeline_series": sorted(timeline.series),
+        "timeline_sha256": hashlib.sha256(
+            timeline.to_json().encode("utf-8")
+        ).hexdigest(),
+        "jobs": int(summary["jobs"]),
+        "wait_p95": summary["wait_p95"],
+        "node_seconds": summary["node_seconds"],
+        "audits_sha256": hashlib.sha256(
+            audits_to_json(audits).encode("utf-8")
+        ).hexdigest(),
+    }
+
+
+def golden_digests(name: str = TRACED_SCENARIO) -> tuple:
+    """(trace digest, analytics digest) from one shared scenario run."""
+    tracer, seed = _traced_scenario(name)
+    return _trace_digest(tracer, name, seed), _analytics_digest(tracer, name, seed)
+
+
+def golden_trace_digest(name: str = TRACED_SCENARIO) -> dict:
+    """Run one scenario under the tracer and digest its JSONL export."""
+    tracer, seed = _traced_scenario(name)
+    return _trace_digest(tracer, name, seed)
+
+
 def main() -> None:
     GOLDEN_OBS_DIR.mkdir(parents=True, exist_ok=True)
-    digest = golden_trace_digest()
+    trace, analytics = golden_digests()
     path = GOLDEN_OBS_DIR / f"{TRACED_SCENARIO}_trace.json"
     path.write_text(
-        json.dumps(digest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        json.dumps(trace, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
-    print(f"wrote {path} ({digest['event_count']} events, sha {digest['sha256'][:12]})")
+    print(f"wrote {path} ({trace['event_count']} events, sha {trace['sha256'][:12]})")
+    path = GOLDEN_OBS_DIR / f"{TRACED_SCENARIO}_analytics.json"
+    path.write_text(
+        json.dumps(analytics, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(
+        f"wrote {path} (timeline sha {analytics['timeline_sha256'][:12]}, "
+        f"audits sha {analytics['audits_sha256'][:12]})"
+    )
 
 
 if __name__ == "__main__":

@@ -19,6 +19,7 @@ from repro.obs import (
     TraceEvent,
     diff_events,
     get_logger,
+    load_chrome,
     load_jsonl,
     logging_setup,
     observation_enabled,
@@ -95,6 +96,23 @@ class TestEventTracer:
         # The truncation marker must not round-trip as an event.
         assert len(load_jsonl(tracer.to_jsonl())) == 2
 
+    def test_summary_exposes_dropped_counts(self):
+        tracer = EventTracer(max_events=2)
+        for i in range(5):
+            tracer.emit(float(i), "c", "n")
+        assert tracer.summary() == {"events": 2, "dropped": 3, "emitted": 5}
+        assert EventTracer().summary() == {"events": 0, "dropped": 0, "emitted": 0}
+
+    def test_truncation_warns_once_not_per_event(self):
+        stream = io.StringIO()
+        logging_setup(stream=stream)
+        tracer = EventTracer(max_events=1)
+        for i in range(10):
+            tracer.emit(float(i), "c", "n")
+        output = stream.getvalue()
+        assert output.count("max_events=1") == 1
+        assert "dropped" in output
+
     def test_chrome_export_structure(self):
         tracer = EventTracer()
         tracer.emit(1.0, "engine", "dispatch", {"callback": "f"})
@@ -128,12 +146,81 @@ class TestEventTracer:
         lines = diff_events(a, b)
         assert lines and "diverge at event 1" in lines[0]
 
+    def test_diff_prints_surrounding_context_with_seq(self):
+        a = [TraceEvent(float(i), i, "c", "n", args={"i": i}) for i in range(10)]
+        b = list(a)
+        b[5] = TraceEvent(5.0, 5, "c", "n", args={"i": 99})
+        lines = diff_events(a, b)
+        assert "diverge at event 5" in lines[0]
+        # Default +-2 context around the divergence, for each stream,
+        # every line carrying the event's seq number.
+        a_lines = [line for line in lines if " a[" in line]
+        b_lines = [line for line in lines if " b[" in line]
+        assert len(a_lines) == 5 and len(b_lines) == 5
+        assert any(">> a[5] seq=5" in line for line in lines)
+        assert any(">> b[5] seq=5" in line for line in lines)
+        assert all("seq=" in line for line in a_lines + b_lines)
+
     def test_diff_length_mismatch(self):
         a = [TraceEvent(0.0, 0, "c", "n")]
         lines = diff_events(a, a + [TraceEvent(1.0, 1, "c", "n")])
         assert lines == [
             "streams are identical for 1 events, then lengths differ: 1 vs 2"
         ]
+
+
+class TestLoadJsonlErrors:
+    def test_invalid_json_names_the_line(self):
+        text = '{"ts": 0.0, "seq": 0, "cat": "c", "name": "n", "ph": "i", "args": {}}\n{broken\n'
+        with pytest.raises(ValueError, match="line 2: invalid JSON"):
+            load_jsonl(text)
+
+    def test_non_object_line_names_the_line(self):
+        with pytest.raises(ValueError, match="line 1: expected a JSON object, got list"):
+            load_jsonl("[1, 2, 3]\n")
+
+    def test_missing_required_keys_names_the_line(self):
+        with pytest.raises(ValueError, match="line 1: not a valid trace event"):
+            load_jsonl('{"cat": "c", "name": "n"}\n')
+
+    def test_blank_lines_are_skipped(self):
+        tracer = EventTracer()
+        tracer.emit(1.0, "c", "n")
+        padded = "\n" + tracer.to_jsonl() + "\n\n"
+        assert load_jsonl(padded) == tracer.events
+
+
+class TestChromeRoundTrip:
+    def build_tracer(self) -> EventTracer:
+        tracer = EventTracer()
+        tracer.emit(0.0, "engine", "dispatch", {"callback": "f", "event_seq": 1})
+        tracer.counter(1.5, "scheduler", "queue_depth", {"apps": 2, "pending": 1})
+        tracer.emit(2.0, "federation", "route", {"app": "a", "cluster": "east"})
+        return tracer
+
+    def test_chrome_export_parses_back_losslessly(self):
+        tracer = self.build_tracer()
+        events = load_chrome(tracer.to_chrome(label="rt"))
+        assert events == tracer.events
+
+    def test_round_trip_survives_reexport(self):
+        tracer = self.build_tracer()
+        text = tracer.to_chrome()
+        assert load_chrome(text) == load_chrome(text)
+
+    def test_metadata_events_are_skipped(self):
+        doc = json.loads(self.build_tracer().to_chrome())
+        metadata = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert metadata, "export should carry process/thread metadata"
+        assert len(load_chrome(json.dumps(doc))) == 3
+
+    def test_invalid_document_raises(self):
+        with pytest.raises(ValueError, match="invalid Chrome trace JSON"):
+            load_chrome("{nope")
+        with pytest.raises(ValueError, match="traceEvents"):
+            load_chrome('{"other": 1}')
+        with pytest.raises(ValueError, match="malformed trace_event record"):
+            load_chrome('{"traceEvents": [{"ph": "i", "name": "n"}]}')
 
 
 class TestMetricsRegistry:
