@@ -95,6 +95,12 @@ def _require_default_policy(spec: ScenarioSpec) -> None:
             f"specs; federate 'amr_psa'-based scenarios (e.g. fed-dual-trace) "
             f"instead."
         )
+    if spec.faults is not None:
+        raise ValueError(
+            f"scenario {spec.name!r} (runner {spec.runner!r}) reproduces a fixed "
+            f"paper experiment and ignores fault plans; inject faults into "
+            f"'amr_psa'-based federated scenarios (e.g. fed-chaos-dual) instead."
+        )
 
 
 def _finish(spec: ScenarioSpec, metrics: Dict[str, object]) -> Dict[str, object]:
@@ -181,6 +187,7 @@ def run_amr_psa(spec: ScenarioSpec, seed: int) -> Dict[str, object]:
         violation_grace=spec.rms.violation_grace,
         policy=spec.policy,
         federation=spec.federation,
+        faults=spec.faults,
     )
     metrics = result.metrics.to_dict()
     metrics["cluster_nodes"] = result.cluster_nodes
@@ -195,6 +202,8 @@ def run_amr_psa(spec: ScenarioSpec, seed: int) -> Dict[str, object]:
         metrics.update(
             federation_breakdown(result.federation, result.metrics, amr=result.amr)
         )
+    if result.fault_injector is not None:
+        metrics.update(result.fault_injector.summary())
     return _finish(spec, metrics)
 
 
@@ -484,6 +493,43 @@ register_scenario(
         federation=get_topology("dual"),
     )
 )
+# --------------------------------------------------------------------- #
+# Chaos scenarios: the dual topology under the built-in fault plans.
+# AMR-free on purpose -- the trace workload's rigid jobs are killable and
+# respawnable, so jobs-lost / rescheduled / SLA-attainment numbers are
+# well defined.  120 jobs at one arrival per ~30 s spans the plans'
+# 600..2400 s fault windows comfortably.
+# --------------------------------------------------------------------- #
+_CHAOS_TRACE: Dict[str, object] = {
+    "model": TRACE_SCENARIO_MODEL,
+    "job_count": 120,
+    "transforms": [{"kind": "clamp_nodes", "max_nodes": 32}],
+}
+
+register_scenario(
+    ScenarioSpec(
+        name="fed-chaos-dual",
+        runner="amr_psa",
+        description="Synthesized trace on two clusters under the flaky-nodes "
+        "plan: staggered partial crashes with restarts, admission control "
+        "rerouting around the unhealthy member",
+        workload=WorkloadSpec(include_amr=False, trace=_CHAOS_TRACE),
+        federation=get_topology("dual"),
+        faults="flaky-nodes",
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="fed-chaos-blackout",
+        runner="amr_psa",
+        description="Synthesized trace on two clusters with one member "
+        "blacked out for 25 sim-minutes; killed jobs respawn on the survivor",
+        workload=WorkloadSpec(include_amr=False, trace=_CHAOS_TRACE),
+        federation=get_topology("dual"),
+        faults="blackout",
+    )
+)
+
 register_scenario(
     ScenarioSpec(
         name="fed-hetero3",

@@ -19,6 +19,7 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from ..experiments.runner import EvaluationScale
+from ..faults.plan import FaultPlan, get_fault_plan
 from ..federation.routing import make_routing
 from ..federation.spec import FederationSpec
 from ..policies.registry import policy_label, resolve_policy
@@ -209,6 +210,11 @@ class ScenarioSpec:
     #: classic single-scheduler path; dictionaries are promoted on
     #: construction so specs stay JSON-writable.
     federation: Optional[FederationSpec] = None
+    #: Fault plan armed against the federation: a registered plan name
+    #: (see ``repro.faults.plan``), a plan dictionary (promoted to
+    #: :class:`~repro.faults.plan.FaultPlan`) or a plan instance.
+    #: Requires ``federation``; ``None`` runs fault-free.
+    faults: Optional[Union[str, FaultPlan]] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -232,6 +238,21 @@ class ScenarioSpec:
             object.__setattr__(
                 self, "federation", FederationSpec.from_dict(self.federation)
             )
+        if self.faults is not None:
+            if isinstance(self.faults, str):
+                get_fault_plan(self.faults)  # fail fast on unknown plan names
+            elif isinstance(self.faults, Mapping):
+                object.__setattr__(self, "faults", FaultPlan.from_dict(self.faults))
+            elif not isinstance(self.faults, FaultPlan):
+                raise ValueError(
+                    "faults must be a registered plan name, a plan mapping or "
+                    f"a FaultPlan, got {self.faults!r}"
+                )
+            if self.federation is None:
+                raise ValueError(
+                    f"scenario {self.name!r} declares a fault plan but no "
+                    f"federation; fault injection targets federation members"
+                )
 
     def with_scale(self, scale: str) -> "ScenarioSpec":
         return replace(self, scale=scale)
@@ -288,6 +309,11 @@ class ScenarioSpec:
             "metrics": list(self.metrics),
             "policy": self.policy,
             "federation": None if self.federation is None else self.federation.to_dict(),
+            "faults": (
+                self.faults.to_dict()
+                if isinstance(self.faults, FaultPlan)
+                else self.faults
+            ),
         }
 
     @classmethod

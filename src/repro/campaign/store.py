@@ -25,6 +25,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..metrics.collector import median_summary
 from ..obs import hooks as _obs
+from ..obs.logsetup import get_logger
 from .spec import CampaignSpec
 
 __all__ = ["CampaignInfo", "ResultStore", "DEFAULT_RESULTS_DIR"]
@@ -151,10 +152,20 @@ class ResultStore:
             )
         records: List[Dict] = []
         with open(path, encoding="utf-8") as fh:
-            for line in fh:
+            for lineno, line in enumerate(fh, start=1):
                 line = line.strip()
-                if line:
+                if not line:
+                    continue
+                try:
                     records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    # An interrupted append leaves a truncated trailing line;
+                    # one lost record must not make the whole store unreadable.
+                    get_logger("campaign").warning(
+                        "%s:%d: skipping unparseable record (truncated write?)",
+                        path,
+                        lineno,
+                    )
         return records
 
     def load_spec(self, name: str) -> Optional[CampaignSpec]:

@@ -26,6 +26,9 @@ class Cluster:
         self.nodes: Dict[NodeId, Node] = {
             i: Node(node_id=i, cluster_id=cluster_id) for i in range(node_count)
         }
+        #: Busy node-seconds accumulated by nodes removed since (crash or
+        #: elastic shrink); keeps utilization accounting exact across faults.
+        self.retired_busy_seconds: float = 0.0
 
     # ------------------------------------------------------------------ #
     @property
@@ -120,9 +123,63 @@ class Cluster:
             node.owner_request = request_id
 
     # ------------------------------------------------------------------ #
+    # Capacity mutation (fault injection / elastic members)
+    # ------------------------------------------------------------------ #
+    def shrink_victims(self, count: int) -> List[NodeId]:
+        """The node IDs a shrink of *count* nodes would remove.
+
+        Victims are the highest IDs -- a deterministic choice that keeps
+        the surviving ID set contiguous-ish and replayable.
+        """
+        if count <= 0:
+            return []
+        return sorted(self.nodes)[-count:]
+
+    def remove_nodes(self, node_ids: Iterable[NodeId], now: Time) -> None:
+        """Remove nodes from the cluster (crash or elastic shrink).
+
+        Every victim must be free: callers (the RMS) kill the owning
+        applications first, which releases their nodes.  The removed nodes'
+        accumulated busy time is retired, not lost, so utilization
+        accounting stays exact.
+        """
+        for nid in node_ids:
+            node = self.nodes.get(nid)
+            if node is None:
+                raise AllocationError(f"unknown node id {nid} on {self.cluster_id!r}")
+            if node.state is NodeState.ALLOCATED:
+                raise AllocationError(
+                    f"node {nid} on {self.cluster_id!r} is still allocated "
+                    f"to {node.owner_app!r}; kill the owner before removing it"
+                )
+            node._accumulate(now)
+            self.retired_busy_seconds += node.busy_seconds
+            del self.nodes[nid]
+
+    def add_nodes(self, count: int, now: Time) -> List[NodeId]:
+        """Add *count* fresh nodes (node restart or elastic grow).
+
+        IDs re-use the lowest missing non-negative integers, so a restart
+        after a crash restores exactly the original ID set -- replay of a
+        faulted scenario is byte-identical.
+        """
+        if count < 0:
+            raise AllocationError("cannot add a negative node count")
+        added: List[NodeId] = []
+        nid = 0
+        while len(added) < count:
+            if nid not in self.nodes:
+                node = Node(node_id=nid, cluster_id=self.cluster_id)
+                node.last_transition = now
+                self.nodes[nid] = node
+                added.append(nid)
+            nid += 1
+        return added
+
+    # ------------------------------------------------------------------ #
     def busy_node_seconds(self, now: Time) -> float:
         """Total node-seconds of allocation accumulated so far."""
-        total = 0.0
+        total = self.retired_busy_seconds
         for node in self.nodes.values():
             total += node.busy_seconds
             if node.state is NodeState.ALLOCATED and now > node.last_transition:

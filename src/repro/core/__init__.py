@@ -7,6 +7,7 @@ from .types import (
     Time,
 )
 from .errors import (
+    AdmissionError,
     AllocationError,
     CapacityError,
     ConstraintError,
@@ -54,6 +55,7 @@ __all__ = [
     "RequestType",
     "Time",
     # errors
+    "AdmissionError",
     "AllocationError",
     "CapacityError",
     "ConstraintError",

@@ -49,6 +49,15 @@ class AllocationError(ReproError):
     """Node-ID bookkeeping failed (double allocation, unknown node, ...)."""
 
 
+class AdmissionError(ReproError):
+    """The meta-scheduler's admission control refused a placement.
+
+    Raised when every federation member is down, throttled or behind an
+    open circuit breaker; distinct from :class:`RequestError` so callers
+    can tell "rejected right now" from "can never fit".
+    """
+
+
 class SimulationError(ReproError):
     """The discrete-event simulation engine reached an invalid state."""
 

@@ -20,6 +20,7 @@ import math
 import time
 from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Set
 
+from ..cluster.node import NodeState
 from ..cluster.platform import Platform
 from ..obs import hooks as _obs
 from .accounting import Accountant
@@ -672,6 +673,94 @@ class CooRMv2:
                         ),
                     )
                     break
+
+    # ------------------------------------------------------------------ #
+    # Capacity revocation (fault injection / elastic members)
+    # ------------------------------------------------------------------ #
+    def set_capacity(self, node_count: int, reason: str = "capacity change") -> List[str]:
+        """Grow or shrink the default cluster to *node_count* nodes.
+
+        Shrinking picks the highest node IDs as victims; applications
+        holding a victim are killed first (the forced kill *is* the
+        simulated crash), which releases every node they held.  Growing
+        adds fresh nodes that re-use the lowest missing IDs.  Either way
+        the scheduler's capacity view is rebuilt and a pass is triggered.
+        Returns the app ids killed, in connection order.
+        """
+        if node_count < 0:
+            raise ValueError("node_count cannot be negative")
+        cluster = self.platform.cluster(self.platform.default_cluster_id())
+        current = cluster.node_count
+        killed: List[str] = []
+        if node_count == current:
+            return killed
+        if node_count < current:
+            victims = cluster.shrink_victims(current - node_count)
+            owners: List[str] = []
+            for nid in victims:
+                node = cluster.nodes[nid]
+                if node.state is NodeState.ALLOCATED and node.owner_app not in owners:
+                    owners.append(node.owner_app)
+            for app_id in owners:
+                session = self.sessions.get(app_id)
+                if session is not None and session.alive:
+                    self.kill(app_id, reason=reason)
+                    killed.append(app_id)
+            cluster.remove_nodes(victims, self.now)
+        else:
+            cluster.add_nodes(node_count - current, self.now)
+        self.scheduler.set_capacity(self.platform.capacity())
+        tracer = _obs.TRACER[0]
+        if tracer is not None:
+            tracer.emit(
+                self.now,
+                "rms",
+                "capacity",
+                {
+                    "cluster": cluster.cluster_id,
+                    "nodes": cluster.node_count,
+                    "reason": reason,
+                    "killed": killed,
+                },
+            )
+            self._obs_allocation(tracer)
+        self._trigger_schedule()
+        return killed
+
+    def release_capacity(self, count: int, reason: str = "elastic shrink") -> int:
+        """Gently shed up to *count* currently-free nodes (highest IDs).
+
+        The elastic-shrink counterpart of :meth:`set_capacity`: running
+        applications are never killed, so the member only gives back what
+        it is not using.  Returns the number of nodes actually removed.
+        """
+        if count <= 0:
+            return 0
+        cluster = self.platform.cluster(self.platform.default_cluster_id())
+        free = [
+            nid for nid in sorted(cluster.nodes, reverse=True)
+            if cluster.nodes[nid].state is not NodeState.ALLOCATED
+        ][:count]
+        if not free:
+            return 0
+        cluster.remove_nodes(free, self.now)
+        self.scheduler.set_capacity(self.platform.capacity())
+        tracer = _obs.TRACER[0]
+        if tracer is not None:
+            tracer.emit(
+                self.now,
+                "rms",
+                "capacity",
+                {
+                    "cluster": cluster.cluster_id,
+                    "nodes": cluster.node_count,
+                    "reason": reason,
+                    "killed": [],
+                },
+            )
+            self._obs_allocation(tracer)
+        self._trigger_schedule()
+        return len(free)
 
     # ------------------------------------------------------------------ #
     # Introspection helpers used by experiments and tests

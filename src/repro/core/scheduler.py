@@ -143,6 +143,21 @@ class Scheduler:
         self._full_view = View.constant(self.capacity)
 
     # ------------------------------------------------------------------ #
+    def set_capacity(self, capacity: Mapping[ClusterId, int]) -> None:
+        """Replace the platform capacity (fault injection / elastic members).
+
+        Unlike construction, zero is legal here: a whole-cluster outage
+        leaves the scheduler with nothing to offer until capacity returns.
+        """
+        updated = {cid: int(n) for cid, n in capacity.items()}
+        if not updated:
+            raise ValueError("the platform needs at least one cluster")
+        for cid, n in updated.items():
+            if n < 0:
+                raise ValueError(f"cluster {cid!r} cannot have negative capacity")
+        self.capacity = updated
+        self._full_view = View.constant(self.capacity)
+
     def full_view(self) -> View:
         """A view offering every node of every cluster forever."""
         return self._full_view

@@ -19,10 +19,14 @@ from ..apps.nea import AmrApplication
 from ..apps.psa import ParameterSweepApplication
 from ..apps.rigid import RigidApplication
 from ..cluster.platform import Platform
+from ..core.errors import AdmissionError, RequestError
 from ..core.rms import CooRMv2
+from ..faults.injector import FaultInjector
+from ..faults.plan import resolve_fault_plan
 from ..federation.federation import Federation, locality_group
 from ..federation.metrics import collect_federated
 from ..federation.spec import FederationSpec
+from ..sim.randomness import derive_seed
 from ..metrics.collector import SimulationMetrics
 from ..models.amr_evolution import AmrEvolutionParameters, WorkingSetEvolution
 from ..models.speedup import PAPER_SPEEDUP_MODEL, SpeedupModel, TIB_IN_MIB
@@ -107,6 +111,9 @@ class ScenarioResult:
     #: The federation that ran the scenario (None on the single-cluster
     #: path; when set, ``rms`` is the first member's RMS).
     federation: Optional[Federation] = None
+    #: The fault injector that played the scenario's fault plan (None on
+    #: fault-free runs); carries the recovery/SLA ledger.
+    fault_injector: Optional[FaultInjector] = None
 
 
 def build_evolution(
@@ -166,6 +173,7 @@ def run_scenario(
     horizon: Optional[float] = None,
     policy=None,
     federation: Optional[FederationSpec] = None,
+    faults=None,
 ) -> ScenarioResult:
     """Run one AMR + PSA(s) scenario and collect its metrics.
 
@@ -195,6 +203,14 @@ def run_scenario(
     placed by the federation's routing policy at its submission time.  A
     1-cluster federation under the ``any`` routing is byte-identical to the
     single-scheduler path.
+
+    *faults* (a registered plan name, plan dict or
+    :class:`~repro.faults.plan.FaultPlan`) arms a deterministic fault
+    injector against the federation: node crashes/restarts, member
+    outages with rerouting, elastic capacity rules and meta-scheduler
+    admission control.  Jobs killed by a fault are resubmitted (up to the
+    plan's ``max_respawns``) or counted lost; initial submissions refused
+    by admission control are counted rejected.  Requires *federation*.
     """
     if overcommit <= 0:
         raise ValueError("overcommit must be positive")
@@ -230,6 +246,8 @@ def run_scenario(
         )
         rms = fed.members[0].rms
         cluster_nodes = fed.total_nodes()
+    elif faults is not None:
+        raise ValueError("fault injection requires a federation")
     else:
         platform = Platform.single_cluster(cluster_nodes)
         rms = CooRMv2(
@@ -241,6 +259,15 @@ def run_scenario(
             violation_grace=violation_grace,
             policy=policy,
         )
+
+    injector: Optional[FaultInjector] = None
+    if faults is not None:
+        # The fault stream gets its own derived seed so a plan's jitter
+        # never correlates with the workload drawn from the scenario seed.
+        injector = FaultInjector(
+            resolve_fault_plan(faults), fed, seed=derive_seed(seed, "faults")
+        )
+        injector.arm()
 
     amr: Optional[AmrApplication] = None
     if include_amr:
@@ -279,23 +306,55 @@ def run_scenario(
         a job too large for every cluster fails loudly rather than being
         silently reshaped (trace *conversions* clamp; rigid replays don't).
         """
-        app = RigidApplication(
-            job.job_id, node_count=job.node_count, duration=job.duration
-        )
-        fed.submit(app, node_count=job.node_count, group=locality_group(job.job_id))
-        rigid_apps.append(app)
+
+        def spawn(name: str) -> None:
+            app = RigidApplication(
+                name, node_count=job.node_count, duration=job.duration
+            )
+            fed.submit(
+                app, node_count=job.node_count, group=locality_group(job.job_id)
+            )
+            rigid_apps.append(app)
+
+        _faulted_submit(spawn, job.job_id)
 
     def submit_converted(converted: ConvertedJob) -> None:
         """Route one trace job now and build it clamped to its member."""
-        member = fed.meta.place(
-            converted.job_id,
-            node_count=converted.node_count,
-            group=locality_group(converted.job_id),
-            now=simulator.now,
-        )
-        app = build_application(converted, member.capacity)
-        fed.attach(member, app, node_count=converted.node_count)
-        trace_apps.append(app)
+
+        def spawn(name: str) -> None:
+            member = fed.meta.place(
+                name,
+                node_count=converted.node_count,
+                group=locality_group(converted.job_id),
+                now=simulator.now,
+            )
+            app = build_application(
+                replace(converted, job_id=name), member.capacity
+            )
+            fed.attach(member, app, node_count=converted.node_count)
+            trace_apps.append(app)
+
+        _faulted_submit(spawn, converted.job_id)
+
+    def _faulted_submit(spawn, job_id: str) -> None:
+        """Submit via *spawn*; under a fault plan, account and register.
+
+        On fault-free federations this is a plain passthrough (exceptions
+        propagate exactly as before).  Under an armed injector the job is
+        counted, admission refusals become "rejected" instead of a crash,
+        and a successful submission registers *spawn* as the respawn
+        factory for when a fault later kills the job.
+        """
+        if injector is None:
+            spawn(job_id)
+            return
+        injector.note_submitted()
+        try:
+            spawn(job_id)
+        except (AdmissionError, RequestError):
+            injector.note_rejected(job_id)
+            return
+        injector.register_respawn(job_id, spawn)
 
     for job in rigid_jobs or ():
         if fed is None:
@@ -341,4 +400,5 @@ def run_scenario(
         rigid_apps=rigid_apps,
         trace_apps=trace_apps,
         federation=fed,
+        fault_injector=injector,
     )

@@ -1,0 +1,144 @@
+"""Meta-scheduler admission control: token buckets and circuit breakers.
+
+Both mechanisms run entirely in *simulation* time and hold no hidden
+randomness, so admission decisions replay byte-identically.
+
+- :class:`TokenBucket` throttles the placement rate per member (rate 0
+  means unthrottled).
+- :class:`CircuitBreaker` trips after N consecutive placement failures
+  (fault kills, failed respawns), rejects placements while **open**,
+  **half-opens** after a cooldown to let one probe through, and either
+  closes on success or re-trips immediately on failure.
+- :class:`AdmissionController` combines one bucket and one breaker per
+  federation member behind the two-method surface the meta-scheduler
+  uses: ``admit(member, now)`` and ``record_failure``/``record_success``.
+"""
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .plan import AdmissionSpec
+
+__all__ = ["TokenBucket", "CircuitBreaker", "AdmissionController"]
+
+
+class TokenBucket:
+    """A sim-time token bucket; ``rate`` of 0 disables throttling."""
+
+    def __init__(self, rate: float, burst: int):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._last = 0.0
+
+    def try_take(self, now: float) -> bool:
+        """Consume one token if available, refilling lazily first."""
+        if self.rate <= 0:
+            return True
+        if now > self._last:
+            self.tokens = min(self.burst, self.tokens + (now - self._last) * self.rate)
+        self._last = max(self._last, now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class CircuitBreaker:
+    """closed -> open -> half-open placement breaker for one member."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, failure_threshold: int, cooldown: float):
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown = float(cooldown)
+        self.state = self.CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+        self.trips = 0
+
+    def allows(self, now: float) -> bool:
+        """Whether a placement may be attempted right now.
+
+        An open breaker whose cooldown has elapsed transitions to
+        half-open and lets exactly one probe through; the probe's
+        outcome (``record_success`` / ``record_failure``) decides
+        whether it closes or re-trips.
+        """
+        if self.state == self.OPEN:
+            if now - self.opened_at >= self.cooldown:
+                self.state = self.HALF_OPEN
+                return True
+            return False
+        return True
+
+    def record_failure(self, now: float) -> None:
+        if self.state == self.HALF_OPEN:
+            # The probe failed: re-trip immediately, restart the cooldown.
+            self._trip(now)
+            return
+        self.failures += 1
+        if self.state == self.CLOSED and self.failures >= self.failure_threshold:
+            self._trip(now)
+
+    def record_success(self) -> None:
+        self.failures = 0
+        if self.state == self.HALF_OPEN:
+            self.state = self.CLOSED
+
+    def _trip(self, now: float) -> None:
+        self.state = self.OPEN
+        self.opened_at = now
+        self.failures = 0
+        self.trips += 1
+
+
+class AdmissionController:
+    """Per-member admission control for the meta-scheduler.
+
+    The controller never chooses members -- routing does that -- it only
+    answers "may this member accept a placement right now?".
+    """
+
+    def __init__(self, spec: AdmissionSpec, members: Iterable[str]):
+        self.spec = spec
+        self.buckets: Dict[str, TokenBucket] = {}
+        self.breakers: Dict[str, CircuitBreaker] = {}
+        for name in members:
+            self.buckets[name] = TokenBucket(spec.rate, spec.burst)
+            self.breakers[name] = CircuitBreaker(
+                spec.failure_threshold, spec.cooldown
+            )
+        self.rejections = 0
+
+    def admit(self, member: str, now: float) -> Tuple[bool, Optional[str]]:
+        """Try to admit one placement on *member*; ``(ok, reason)``.
+
+        The token is only consumed when the breaker allows the attempt,
+        so a tripped member does not burn its refill budget.
+        """
+        breaker = self.breakers[member]
+        if not breaker.allows(now):
+            self.rejections += 1
+            return False, "breaker-open"
+        if not self.buckets[member].try_take(now):
+            self.rejections += 1
+            return False, "throttled"
+        return True, None
+
+    def record_failure(self, member: str, now: float) -> None:
+        """A placement on *member* failed (fault kill, failed respawn)."""
+        self.breakers[member].record_failure(now)
+
+    def record_success(self, member: str) -> None:
+        """A placement on *member* was admitted and attached."""
+        self.breakers[member].record_success()
+
+    def breaker_trips(self) -> int:
+        return sum(b.trips for b in self.breakers.values())
+
+    def states(self) -> List[Tuple[str, str]]:
+        """(member, breaker-state) pairs in deterministic name order."""
+        return sorted((name, b.state) for name, b in self.breakers.items())

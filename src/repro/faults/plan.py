@@ -1,0 +1,340 @@
+"""Declarative fault plans: what goes wrong, where, and when.
+
+A :class:`FaultPlan` is a frozen, JSON round-trippable description of a
+chaos experiment against a federation:
+
+- :class:`FaultEvent` -- timed node **crashes** / **restarts** and
+  whole-cluster **outages** / **recoveries**;
+- :class:`ElasticRule` -- a utilization-triggered grow/shrink policy
+  evaluated on a finite check grid (finite so the event queue drains and
+  the simulation terminates);
+- :class:`AdmissionSpec` -- per-member token-bucket throttling plus a
+  circuit breaker for the meta-scheduler's admission control.
+
+Members are referenced either by cluster name (``"east"``) or by
+federation order (``"#1"``), which lets the built-in plans apply to any
+topology.  Plans carry no randomness themselves; optional event jitter is
+resolved by the injector from a derived seed, keeping replays
+byte-identical.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+__all__ = [
+    "FaultEvent",
+    "ElasticRule",
+    "AdmissionSpec",
+    "FaultPlan",
+    "register_fault_plan",
+    "get_fault_plan",
+    "fault_plan_names",
+    "resolve_fault_plan",
+]
+
+#: Event kinds that remove/restore a fixed number of nodes.
+NODE_KINDS = ("crash", "restart")
+#: Event kinds that take a whole member down / bring it back.
+MEMBER_KINDS = ("outage", "recover")
+
+
+def _filter_kwargs(cls, data: Mapping) -> Dict:
+    """Reject unknown keys instead of silently dropping them."""
+    fields = {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+    unknown = sorted(set(data) - fields)
+    if unknown:
+        raise ValueError(f"{cls.__name__}: unknown fields {unknown}")
+    return dict(data)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault: a node crash/restart or a member outage/recovery."""
+
+    time: float
+    kind: str
+    member: str
+    nodes: int = 0
+
+    def __post_init__(self):
+        if self.time < 0:
+            raise ValueError(f"fault event time must be >= 0, got {self.time}")
+        if self.kind not in NODE_KINDS + MEMBER_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{NODE_KINDS + MEMBER_KINDS}"
+            )
+        if not self.member:
+            raise ValueError("fault event needs a member name or '#index'")
+        if self.kind in NODE_KINDS and self.nodes <= 0:
+            raise ValueError(f"{self.kind!r} needs a positive node count")
+        if self.kind in MEMBER_KINDS and self.nodes != 0:
+            raise ValueError(f"{self.kind!r} applies to the whole member; nodes must be 0")
+
+    def to_dict(self) -> Dict:
+        return {
+            "time": self.time, "kind": self.kind,
+            "member": self.member, "nodes": self.nodes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FaultEvent":
+        return cls(**_filter_kwargs(cls, data))
+
+
+@dataclass(frozen=True)
+class ElasticRule:
+    """Utilization-triggered capacity rule for one member.
+
+    Every ``interval`` seconds from ``start`` until ``until`` (a *finite*
+    grid -- an unbounded rule would keep the event queue non-empty and
+    the simulation would never terminate), the member's utilization
+    ``allocated / capacity`` is sampled: above ``high_util`` the member
+    grows by ``grow_step`` nodes (capped at ``max_nodes``), below
+    ``low_util`` it gently sheds up to ``shrink_step`` *free* nodes
+    (floored at ``min_nodes``; running jobs are never killed by
+    elasticity).
+    """
+
+    member: str
+    interval: float
+    until: float
+    start: float = 0.0
+    high_util: float = 0.85
+    low_util: float = 0.25
+    grow_step: int = 8
+    shrink_step: int = 8
+    min_nodes: int = 1
+    max_nodes: int = 0  # 0 = unbounded
+
+    def __post_init__(self):
+        if not self.member:
+            raise ValueError("elastic rule needs a member name or '#index'")
+        if self.interval <= 0:
+            raise ValueError("elastic rule interval must be positive")
+        if self.until < self.start or self.start < 0:
+            raise ValueError("elastic rule needs 0 <= start <= until")
+        if not 0.0 <= self.low_util < self.high_util <= 1.0:
+            raise ValueError("elastic rule needs 0 <= low_util < high_util <= 1")
+        if self.grow_step < 0 or self.shrink_step < 0:
+            raise ValueError("elastic grow/shrink steps must be >= 0")
+        if self.min_nodes < 0 or self.max_nodes < 0:
+            raise ValueError("elastic node bounds must be >= 0")
+        if self.max_nodes and self.max_nodes < self.min_nodes:
+            raise ValueError("elastic max_nodes must be >= min_nodes")
+
+    def check_times(self) -> List[float]:
+        """The finite grid of simulation times at which the rule fires."""
+        times: List[float] = []
+        k = 1
+        while True:
+            t = self.start + k * self.interval
+            if t > self.until + 1e-9:
+                return times
+            times.append(t)
+            k += 1
+
+    def to_dict(self) -> Dict:
+        return {
+            "member": self.member, "interval": self.interval,
+            "until": self.until, "start": self.start,
+            "high_util": self.high_util, "low_util": self.low_util,
+            "grow_step": self.grow_step, "shrink_step": self.shrink_step,
+            "min_nodes": self.min_nodes, "max_nodes": self.max_nodes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ElasticRule":
+        return cls(**_filter_kwargs(cls, data))
+
+
+@dataclass(frozen=True)
+class AdmissionSpec:
+    """Meta-scheduler admission control parameters.
+
+    ``rate``/``burst`` parameterize a per-member token bucket refilled in
+    simulation time (``rate`` of 0 disables throttling); the circuit
+    breaker trips after ``failure_threshold`` consecutive placement
+    failures on a member and half-opens ``cooldown`` seconds later --
+    one probe placement either closes it again or re-trips it.
+    """
+
+    rate: float = 0.0
+    burst: int = 8
+    failure_threshold: int = 3
+    cooldown: float = 300.0
+
+    def __post_init__(self):
+        if self.rate < 0:
+            raise ValueError("admission rate must be >= 0 (0 = unthrottled)")
+        if self.burst <= 0:
+            raise ValueError("admission burst must be positive")
+        if self.failure_threshold <= 0:
+            raise ValueError("admission failure_threshold must be positive")
+        if self.cooldown <= 0:
+            raise ValueError("admission cooldown must be positive")
+
+    def to_dict(self) -> Dict:
+        return {
+            "rate": self.rate, "burst": self.burst,
+            "failure_threshold": self.failure_threshold,
+            "cooldown": self.cooldown,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "AdmissionSpec":
+        return cls(**_filter_kwargs(cls, data))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, serialisable chaos experiment description."""
+
+    name: str
+    events: Tuple[FaultEvent, ...] = ()
+    elastic: Tuple[ElasticRule, ...] = ()
+    admission: Optional[AdmissionSpec] = None
+    #: Maximum seconds of deterministic per-event jitter (resolved by the
+    #: injector from ``derive_seed(seed, "fault-jitter", i)``).
+    jitter: float = 0.0
+    #: How many times a job killed by a fault is resubmitted before it
+    #: counts as lost.
+    max_respawns: int = 1
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("a fault plan needs a name")
+        events = tuple(
+            FaultEvent.from_dict(e) if isinstance(e, Mapping) else e
+            for e in self.events
+        )
+        object.__setattr__(self, "events", events)
+        elastic = tuple(
+            ElasticRule.from_dict(r) if isinstance(r, Mapping) else r
+            for r in self.elastic
+        )
+        object.__setattr__(self, "elastic", elastic)
+        if isinstance(self.admission, Mapping):
+            object.__setattr__(
+                self, "admission", AdmissionSpec.from_dict(self.admission)
+            )
+        if self.jitter < 0:
+            raise ValueError("fault plan jitter must be >= 0")
+        if self.max_respawns < 0:
+            raise ValueError("fault plan max_respawns must be >= 0")
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "events": [e.to_dict() for e in self.events],
+            "elastic": [r.to_dict() for r in self.elastic],
+            "admission": None if self.admission is None else self.admission.to_dict(),
+            "jitter": self.jitter,
+            "max_respawns": self.max_respawns,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FaultPlan":
+        return cls(**_filter_kwargs(cls, data))
+
+    def label(self) -> str:
+        bits = [f"{len(self.events)} events"]
+        if self.elastic:
+            bits.append(f"{len(self.elastic)} elastic rules")
+        if self.admission is not None:
+            bits.append("admission control")
+        return f"{self.name}: " + ", ".join(bits)
+
+
+# --------------------------------------------------------------------- #
+# Registry of built-in plans
+# --------------------------------------------------------------------- #
+_PLANS: Dict[str, Callable[[], FaultPlan]] = {}
+
+
+def register_fault_plan(name: str, factory: Callable[[], FaultPlan]) -> None:
+    """Register a named fault plan factory (keyed by its name)."""
+    if name in _PLANS:
+        raise ValueError(f"fault plan {name!r} is already registered")
+    _PLANS[name] = factory
+
+
+def get_fault_plan(name: str) -> FaultPlan:
+    """Build the registered plan *name*, with a helpful error otherwise."""
+    try:
+        factory = _PLANS[name]
+    except KeyError:
+        known = ", ".join(sorted(_PLANS)) or "(none)"
+        raise KeyError(
+            f"unknown fault plan {name!r}; registered plans: {known}"
+        ) from None
+    return factory()
+
+
+def fault_plan_names() -> List[str]:
+    return sorted(_PLANS)
+
+
+def resolve_fault_plan(faults: Union[str, Mapping, FaultPlan]) -> FaultPlan:
+    """Promote a registered name, a plan dict or a plan instance to a plan."""
+    if isinstance(faults, FaultPlan):
+        return faults
+    if isinstance(faults, str):
+        return get_fault_plan(faults)
+    if isinstance(faults, Mapping):
+        return FaultPlan.from_dict(faults)
+    raise TypeError(
+        f"faults must be a plan name, mapping or FaultPlan, got {type(faults).__name__}"
+    )
+
+
+def _flaky_nodes() -> FaultPlan:
+    # Two staggered partial crashes with later restarts; members are
+    # referenced by federation order so the plan fits any >= 2-member
+    # topology.  Admission control reroutes around the unhealthy member
+    # once its breaker trips.
+    return FaultPlan(
+        name="flaky-nodes",
+        events=(
+            FaultEvent(time=600.0, kind="crash", member="#1", nodes=24),
+            FaultEvent(time=1200.0, kind="crash", member="#0", nodes=16),
+            FaultEvent(time=1800.0, kind="restart", member="#1", nodes=24),
+            FaultEvent(time=2400.0, kind="restart", member="#0", nodes=16),
+        ),
+        admission=AdmissionSpec(),
+    )
+
+
+def _blackout() -> FaultPlan:
+    # One member disappears entirely for 25 sim-minutes; placements
+    # reroute to the survivors, killed jobs respawn there.
+    return FaultPlan(
+        name="blackout",
+        events=(
+            FaultEvent(time=900.0, kind="outage", member="#1"),
+            FaultEvent(time=2400.0, kind="recover", member="#1"),
+        ),
+        admission=AdmissionSpec(),
+    )
+
+
+def _elastic_tide() -> FaultPlan:
+    # No faults at all: a pure elasticity experiment where the first
+    # member tracks its own utilization for an hour of sim time.
+    return FaultPlan(
+        name="elastic-tide",
+        elastic=(
+            ElasticRule(
+                member="#0", interval=300.0, until=3600.0,
+                high_util=0.7, low_util=0.2,
+                grow_step=8, shrink_step=8,
+                min_nodes=8, max_nodes=96,
+            ),
+        ),
+    )
+
+
+register_fault_plan("flaky-nodes", _flaky_nodes)
+register_fault_plan("blackout", _blackout)
+register_fault_plan("elastic-tide", _elastic_tide)

@@ -64,16 +64,25 @@ def add_federation_commands(commands: argparse._SubParsersAction) -> None:
         "--routing", default=None,
         help="routing policy override (default: the topology's own)",
     )
+    run.add_argument(
+        "--faults", default=None,
+        help="fault plan to arm against the federation (a registered plan "
+        "name, see `federation list`)",
+    )
     run.add_argument("--seed", type=int, default=0, help="root seed (default 0)")
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
+    from ..faults.plan import fault_plan_names, get_fault_plan
+
     rows = [
         ("routing", name, describe_routing(name)) for name in routing_names()
     ]
     for name in topology_names():
         topology = get_topology(name)
         rows.append(("topology", name, topology.label()))
+    for name in fault_plan_names():
+        rows.append(("fault-plan", name, get_fault_plan(name).label()))
     print(format_table(["kind", "name", "description"], rows))
     return 0
 
@@ -134,6 +143,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
     spec = replace(scenarios[args.scenario], federation=topology)
+    if args.faults is not None:
+        try:
+            spec = replace(spec, faults=args.faults)
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
     seed = derive_seed(args.seed, spec.name, 0)
     try:
         metrics = dict(get_runner(spec.runner)(spec, seed))

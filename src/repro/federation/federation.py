@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..apps.base import BaseApplication
 from ..cluster.platform import Platform
-from ..core.errors import RequestError
+from ..core.errors import AdmissionError, RequestError
 from ..core.rms import CooRMv2
 from ..obs import hooks as _obs
 from ..sim.engine import Simulator
@@ -63,6 +63,10 @@ class FederationMember:
     index: int
     platform: Platform
     rms: CooRMv2
+    #: Whether the whole member is currently blacked out (fault injection).
+    #: Down members keep their routing-snapshot slot -- policies index the
+    #: member list positionally -- but placements are rerouted around them.
+    down: bool = False
 
     @property
     def capacity(self) -> int:
@@ -102,6 +106,10 @@ class MetaScheduler:
             raise ValueError("a meta-scheduler needs at least one member")
         self.members = members
         self.routing = routing
+        #: Admission controller installed by a fault injector; ``None``
+        #: (the default) keeps placement on the historical fast path, so
+        #: fault-free federations behave byte-identically to before.
+        self.admission = None
         self.decisions: List[RoutingDecision] = []
         #: Per member: (application, node-count hint) of everything routed
         #: there; finished applications are filtered lazily on snapshot.
@@ -160,6 +168,8 @@ class MetaScheduler:
                 f"{index} for {len(self.members)} members"
             )
         member = self.members[index]
+        if self.admission is not None or any(m.down for m in self.members):
+            member = self._admit(member, request, now)
         decision = RoutingDecision(
             app_id=app_id,
             cluster=member.name,
@@ -196,7 +206,57 @@ class MetaScheduler:
         if metrics is not None:
             metrics.inc("federation.routing_decisions")
             metrics.inc(f"federation.routed[{member.name}]")
+        if self.admission is not None:
+            self.admission.record_success(member.name)
         return member
+
+    def _admit(self, routed: FederationMember, request: RoutingRequest, now: float) -> FederationMember:
+        """Fault-aware placement filter applied *after* routing.
+
+        Routing policies must see the full, positionally-stable member
+        list (affinity caches global indices), so down members are never
+        filtered from their snapshot; instead the chosen member is
+        vetted here.  Candidates are walked deterministically -- the
+        routed member first, then members that fit the request in
+        federation order, then the rest -- and the first member that is
+        up and admitted by the admission controller wins.  Raises
+        :class:`AdmissionError` when no member qualifies.
+        """
+        rest = [m for m in self.members if m is not routed]
+        fitting = [m for m in rest if request.node_count <= m.capacity]
+        candidates = [routed] + fitting + [m for m in rest if m not in fitting]
+        denied: List[Tuple[str, str]] = []
+        for member in candidates:
+            if member.down:
+                denied.append((member.name, "down"))
+                continue
+            if self.admission is not None:
+                admitted, why = self.admission.admit(member.name, now)
+                if not admitted:
+                    denied.append((member.name, why or "rejected"))
+                    continue
+            if member is not routed:
+                tracer = _obs.TRACER[0]
+                if tracer is not None:
+                    tracer.emit(
+                        now,
+                        "federation",
+                        "reroute",
+                        {
+                            "app": request.app_id,
+                            "from": routed.name,
+                            "to": member.name,
+                            "denied": [list(d) for d in denied],
+                        },
+                    )
+                metrics = _obs.METRICS[0]
+                if metrics is not None:
+                    metrics.inc("federation.reroutes")
+            return member
+        raise AdmissionError(
+            f"no federation member admitted {request.app_id!r}: "
+            + ", ".join(f"{name} ({why})" for name, why in denied)
+        )
 
     def register(
         self,

@@ -47,17 +47,30 @@ class ClusterSpec:
     the single-cluster path.  ``policy`` optionally gives this member its
     own scheduling policy (a registered name or stage mapping); ``None``
     inherits the scenario's policy.
+
+    ``min_nodes``/``max_nodes`` bound how far elastic fault-plan rules may
+    resize this member (0 = unbounded); fault crashes and outages ignore
+    the bounds, as real failures would.
     """
 
     name: str
     nodes: int = 0
     policy: Optional[Union[str, Mapping]] = None
+    min_nodes: int = 0
+    max_nodes: int = 0
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("cluster name must not be empty")
         if self.nodes < 0:
             raise ValueError("cluster nodes must be >= 0 (0 = derive)")
+        if self.min_nodes < 0 or self.max_nodes < 0:
+            raise ValueError("elastic node bounds must be >= 0 (0 = unbounded)")
+        if self.max_nodes and self.max_nodes < max(self.min_nodes, self.nodes):
+            raise ValueError(
+                f"cluster {self.name!r}: max_nodes ({self.max_nodes}) must "
+                f"cover min_nodes and the base size"
+            )
         if isinstance(self.policy, Mapping):
             object.__setattr__(self, "policy", dict(self.policy))
         if self.policy is not None:
@@ -69,6 +82,8 @@ class ClusterSpec:
             "nodes": self.nodes,
             "policy": self.policy if not isinstance(self.policy, Mapping)
             else dict(self.policy),
+            "min_nodes": self.min_nodes,
+            "max_nodes": self.max_nodes,
         }
 
     @classmethod

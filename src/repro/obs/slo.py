@@ -21,6 +21,10 @@ Objective kinds:
 ``utilization``
     Mean cluster utilization must be at least ``min_percent`` % (requires a
     timeline; the objective is skipped -- not failed -- without one).
+``time_to_recover``
+    The longest contiguous span with at least one federation member down
+    (the timeline's ``fault.down`` series) must not exceed ``max_seconds``
+    (requires a fault-traced timeline; skipped without one).
 """
 from __future__ import annotations
 
@@ -39,6 +43,7 @@ OBJECTIVE_KINDS = {
     "mean_bounded_slowdown": ("max",),
     "attainment": ("wait_seconds", "min_percent"),
     "utilization": ("min_percent",),
+    "time_to_recover": ("max_seconds",),
 }
 
 
@@ -185,6 +190,23 @@ def _measure(
             return None, None
         measured = timeline.stats("util.pct")["mean"]
         return measured, measured >= float(obj["min_percent"])
+    if kind == "time_to_recover":
+        if timeline is None or "fault.down" not in timeline.series:
+            return None, None
+        # Longest contiguous grid span with any member down.  The series
+        # is piecewise-constant over the grid, so summing the intervals
+        # whose left point is down measures the outage span to within one
+        # grid step -- deterministic and good enough for an objective.
+        times = timeline.times()
+        values = timeline.series["fault.down"]
+        longest = current = 0.0
+        for i in range(len(values) - 1):
+            if values[i] > 0:
+                current += times[i + 1] - times[i]
+                longest = max(longest, current)
+            else:
+                current = 0.0
+        return longest, longest <= float(obj["max_seconds"])
     raise ValueError(f"unknown objective kind {kind!r}")
 
 

@@ -151,6 +151,7 @@ class TimelineBuilder:
         counts = {"waiting": 0, "running": 0, "completed": 0}
         alloc_now: Dict[str, float] = {}
         dispatched = 0
+        fault_events = 0
 
         def step(name: str, ts: float, value: float) -> None:
             bucket = series.get(name)
@@ -183,6 +184,13 @@ class TimelineBuilder:
                     if isinstance(clusters, Mapping):
                         for cid, nodes in clusters.items():
                             capacity[str(cid)] = int(nodes)
+                elif e.name == "capacity":
+                    # Fault injection / elasticity resized a cluster; track
+                    # the new size so util.pct stays truthful afterwards.
+                    cid = str(e.args.get("cluster", ""))
+                    capacity[cid] = int(e.args.get("nodes", capacity.get(cid, 0)))
+                    step(f"capacity[{cid}]", e.ts, float(capacity[cid]))
+                    step("capacity.total", e.ts, float(sum(capacity.values())))
                 elif e.name == "allocated":
                     total = 0.0
                     for cid, nodes in e.args.items():
@@ -203,6 +211,12 @@ class TimelineBuilder:
             elif e.cat == "federation" and e.name == "load":
                 for cluster, total in e.args.items():
                     step(f"fed.load[{cluster}]", e.ts, float(total))
+            elif e.cat == "fault":
+                if e.name == "down":
+                    step("fault.down", e.ts, float(e.args.get("members", 0)))
+                elif e.name != "plan":
+                    fault_events += 1
+                    step("fault.events", e.ts, float(fault_events))
 
         if events:
             t0 = min(e.ts for e in events)

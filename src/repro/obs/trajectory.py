@@ -119,7 +119,19 @@ def diff_latest(
         if after is None:
             entries.append({"metric": name, "status": "removed", "previous": before})
             continue
-        ratio = after / before if before > 0 else float("inf")
+        if before <= 0:
+            # A rate that first becomes measurable is a new baseline, not an
+            # infinite improvement; keep inf/nan out of the report JSON.
+            entries.append(
+                {
+                    "metric": name,
+                    "status": "new-baseline",
+                    "previous": before,
+                    "latest": after,
+                }
+            )
+            continue
+        ratio = after / before
         regressed = after < before * (1.0 - tolerance)
         entries.append(
             {
@@ -213,7 +225,7 @@ def format_report(report: Mapping[str, object]) -> str:
     )
     for entry in report.get("comparisons", []):  # type: ignore[union-attr]
         status = entry["status"]
-        if status in ("added", "removed"):
+        if status in ("added", "removed", "new-baseline"):
             lines.append(f"    {entry['metric']}: {status}")
             continue
         lines.append(

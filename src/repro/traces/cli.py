@@ -135,6 +135,8 @@ def _trace_summary_rows(trace: Trace) -> List[tuple]:
         ("span (s)", round(trace.span, 3)),
         ("total node-seconds", round(trace.total_area(), 3)),
     ]
+    if trace.skipped_lines:
+        rows.append(("skipped lines", trace.skipped_lines))
     if rigid:
         rows.append(
             ("mean interarrival (s)",

@@ -21,6 +21,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 from ..core.errors import WorkloadError
 from ..core.textio import read_trace_text, write_text_file
 from ..obs import hooks as _obs
+from ..obs.logsetup import get_logger
 from ..workloads.generator import RigidJobSpec
 
 __all__ = [
@@ -255,6 +256,11 @@ class Trace:
         """JSON-friendly provenance summary (used by campaign records)."""
         return {"steps": [dict(step) for step in self.provenance]}
 
+    @property
+    def skipped_lines(self) -> int:
+        """Malformed job lines dropped by lenient parsing, from provenance."""
+        return sum(int(step.get("skipped_lines", 0)) for step in self.provenance)
+
 
 # --------------------------------------------------------------------- #
 # Parsing
@@ -323,6 +329,11 @@ def _parse_job_slow(tokens: List[str], strict: bool, where: str) -> Optional[Swf
     return SwfJob(**values)
 
 
+#: One-element warn-once slot: the first lenient skip in a process warns,
+#: repeats drop to DEBUG so bulk ingestion does not spam stderr.
+_SKIP_WARNED = [False]
+
+
 def loads_swf(
     text: str, *, strict: bool = True, source: str = "<string>"
 ) -> Trace:
@@ -388,6 +399,17 @@ def loads_swf(
     step: Dict[str, object] = {"kind": "load", "source": source, "jobs": len(jobs)}
     if skipped:
         step["skipped_lines"] = skipped
+        if not _SKIP_WARNED[0]:
+            _SKIP_WARNED[0] = True
+            get_logger("trace").warning(
+                "%s: lenient parse skipped %d malformed job line%s "
+                "(counted in provenance; further skips logged at DEBUG)",
+                source, skipped, "" if skipped == 1 else "s",
+            )
+        else:
+            get_logger("trace").debug(
+                "%s: lenient parse skipped %d malformed job lines", source, skipped
+            )
     return Trace(
         header=SwfHeader(directives=directives, comments=tuple(comments)),
         jobs=tuple(jobs),

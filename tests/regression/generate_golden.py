@@ -21,9 +21,11 @@ from repro.campaign import builtin  # noqa: F401  (registers the scenarios)
 from repro.campaign.registry import builtin_scenarios, get_runner
 from repro.sim.randomness import derive_seed
 
-#: The scenarios locked down by the golden fixtures: the paper figures plus
-#: the single-cluster federation (whose metrics must stay byte-identical to
-#: the direct scheduler path -- see tests/regression/test_federation_equivalence.py).
+#: The scenarios locked down by the golden fixtures: the paper figures, the
+#: single-cluster federation (whose metrics must stay byte-identical to the
+#: direct scheduler path -- see tests/regression/test_federation_equivalence.py)
+#: and the fault-injected chaos scenarios (pinning the deterministic
+#: crash/outage/respawn/recovery machinery end to end).
 GOLDEN_SCENARIOS = (
     "fig1",
     "fig2",
@@ -33,6 +35,8 @@ GOLDEN_SCENARIOS = (
     "fig10",
     "fig11",
     "fed-single",
+    "fed-chaos-dual",
+    "fed-chaos-blackout",
 )
 
 GOLDEN_DIR = Path(__file__).resolve().parent.parent / "data" / "golden"

@@ -1,5 +1,6 @@
 """ResultStore: append/load, deterministic files, summaries, comparison."""
 import json
+import logging
 
 import pytest
 
@@ -120,3 +121,50 @@ class TestSummaries:
             ("s1", "value", 0.5, 2.5, 2.0),
             ("s2", "value", 0.5, 2.5, 2.0),
         ]
+
+
+@pytest.fixture()
+def propagating_logs():
+    """Let ``repro.*`` records reach caplog's root handler.
+
+    Any earlier CLI test that called ``logging_setup`` left the package
+    logger with ``propagate = False``, which would blind caplog.
+    """
+    logger = logging.getLogger("repro")
+    before = logger.propagate
+    logger.propagate = True
+    yield
+    logger.propagate = before
+
+
+class TestTruncatedWrites:
+    def test_truncated_trailing_line_is_skipped_with_warning(
+        self, tmp_path, caplog, propagating_logs
+    ):
+        store = ResultStore(tmp_path)
+        records = make_records()
+        store.save_campaign(make_spec(), records)
+        path = store.runs_path("camp")
+        lines = path.read_text(encoding="utf-8").splitlines()
+        # An interrupted append leaves the final record cut mid-JSON.
+        lines[-1] = lines[-1][: len(lines[-1]) // 2]
+        path.write_text("\n".join(lines), encoding="utf-8")
+        with caplog.at_level("WARNING"):
+            loaded = store.load_records("camp")
+        assert loaded == records[:-1]  # every intact record survives
+        assert any("truncated" in message for message in caplog.messages)
+
+    def test_blank_lines_are_ignored_silently(
+        self, tmp_path, caplog, propagating_logs
+    ):
+        store = ResultStore(tmp_path)
+        records = make_records()
+        store.save_campaign(make_spec(), records)
+        path = store.runs_path("camp")
+        path.write_text(
+            path.read_text(encoding="utf-8").replace("\n", "\n\n"),
+            encoding="utf-8",
+        )
+        with caplog.at_level("WARNING"):
+            assert store.load_records("camp") == records
+        assert not caplog.records

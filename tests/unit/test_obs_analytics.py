@@ -299,3 +299,104 @@ class TestTrajectory:
     def test_self_test_trips_on_synthetic_regression(self):
         report = self_test()
         assert report["self_test_ok"] is True
+
+
+class TestDegeneratePaths:
+    def test_summarize_zero_audits_is_flat_and_finite(self):
+        summary = summarize_audits([])
+        assert summary["jobs"] == 0.0
+        assert summary["wait_mean"] == 0.0
+        assert summary["bounded_slowdown_max"] == 0.0
+        json.dumps(summary, allow_nan=False)  # no inf/nan sneaks in
+
+    def test_timeline_on_a_zero_job_event_stream(self):
+        tracer = EventTracer()
+        tracer.emit(0.0, "engine", "dispatch", {"callback": "tick"})
+        tracer.emit(10.0, "engine", "dispatch", {"callback": "tick"})
+        timeline = TimelineBuilder(samples=4).build(tracer.events)
+        assert "jobs.running" not in timeline.series
+        assert timeline.series["engine.dispatched"][-1] == 2.0
+        assert build_audits(tracer.events) == []
+
+    def test_new_baseline_rate_has_no_verdict_and_no_inf(self):
+        a = BenchSnapshot(1, "BENCH_1.json", {"a_per_second": 0.0})
+        b = BenchSnapshot(2, "BENCH_2.json", {"a_per_second": 5.0})
+        (entry,) = diff_latest([a, b])
+        assert entry["status"] == "new-baseline"
+        assert "ratio" not in entry
+        json.dumps(entry, allow_nan=False)  # would raise on inf/nan
+        report = trajectory_report([a, b])
+        assert report["passed"] is True  # a new baseline is not a regression
+        json.dumps(report, allow_nan=False)
+
+
+def faulted_tracer() -> EventTracer:
+    """A hand-built fault trace: crash at 20, outage 40-70, recovery at 90."""
+    t = EventTracer()
+    t.emit(0.0, "rms", "platform", {"clusters": {"c0": 8, "c1": 8}})
+    t.counter(0.0, "rms", "allocated", {"c0": 4.0})
+    t.emit(0.0, "fault", "plan", {"plan": "p", "events": 3})
+    t.emit(20.0, "rms", "capacity", {"cluster": "c0", "nodes": 4, "killed": ["j"]})
+    t.emit(20.0, "fault", "crash", {"member": "c0", "nodes": 4, "killed": ["j"]})
+    t.emit(40.0, "rms", "capacity", {"cluster": "c1", "nodes": 0, "killed": []})
+    t.emit(40.0, "fault", "outage", {"member": "c1", "killed": []})
+    t.counter(40.0, "fault", "down", {"members": 1.0})
+    t.emit(70.0, "rms", "capacity", {"cluster": "c1", "nodes": 8, "killed": []})
+    t.emit(70.0, "fault", "recover", {"member": "c1", "nodes": 8})
+    t.counter(70.0, "fault", "down", {"members": 0.0})
+    t.emit(90.0, "rms", "capacity", {"cluster": "c0", "nodes": 8, "killed": []})
+    t.emit(90.0, "fault", "restart", {"member": "c0", "nodes": 4})
+    return t
+
+
+class TestFaultTimeline:
+    def test_capacity_and_fault_series(self):
+        timeline = TimelineBuilder(samples=9).build(faulted_tracer().events)
+        times = timeline.times()
+        total = dict(zip(times, timeline.series["capacity.total"]))
+        assert total[30.0] == 12.0  # after the c0 crash
+        assert total[50.0] == 4.0  # c1 blacked out
+        assert total[90.0] == 16.0  # everything restored
+        down = dict(zip(times, timeline.series["fault.down"]))
+        assert down[50.0] == 1.0 and down[80.0] == 0.0
+        # Cumulative fault events exclude the informational plan record.
+        assert timeline.series["fault.events"][-1] == 4.0
+
+    def test_resized_capacity_keeps_util_truthful(self):
+        t = EventTracer()
+        t.emit(0.0, "rms", "platform", {"clusters": {"c0": 8}})
+        t.counter(0.0, "rms", "allocated", {"c0": 4.0})
+        t.emit(5.0, "rms", "capacity", {"cluster": "c0", "nodes": 4, "killed": []})
+        t.counter(5.0, "rms", "allocated", {"c0": 4.0})
+        t.counter(10.0, "rms", "allocated", {"c0": 4.0})
+        timeline = TimelineBuilder(samples=2).build(t.events)
+        # 4/8 before the shrink, 4/4 afterwards.
+        assert timeline.series["util.pct"] == [50.0, 100.0, 100.0]
+
+    def test_time_to_recover_objective(self):
+        timeline = TimelineBuilder(samples=9).build(faulted_tracer().events)
+        audits = build_audits(faulted_tracer().events)
+        spec = SLOSpec(
+            name="recovery",
+            objectives=({"kind": "time_to_recover", "max_seconds": 40.0},),
+        )
+        report = evaluate_slo(spec, audits, timeline)
+        (result,) = report.results
+        # The down span covers the 40-70 outage, to within one grid step.
+        assert result["ok"] is True
+        assert 20.0 <= result["measured"] <= 40.0
+        strict = SLOSpec(
+            name="strict",
+            objectives=({"kind": "time_to_recover", "max_seconds": 10.0},),
+        )
+        assert not evaluate_slo(strict, audits, timeline).passed
+
+    def test_time_to_recover_skipped_without_fault_series(self):
+        spec = SLOSpec(
+            name="recovery",
+            objectives=({"kind": "time_to_recover", "max_seconds": 10.0},),
+        )
+        audits = build_audits(lifecycle_tracer().events)
+        for timeline in (None, TimelineBuilder().build(lifecycle_tracer().events)):
+            report = evaluate_slo(spec, audits, timeline)
+            assert report.passed and report.results[0]["skipped"]

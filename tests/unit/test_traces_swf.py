@@ -153,3 +153,45 @@ class TestSwfJob:
     def test_header_with_directive(self):
         header = SwfHeader().with_directive("MaxNodes", 32)
         assert header.max_nodes == 32
+
+
+class TestSkippedLineSurfacing:
+    def test_skipped_lines_property_sums_provenance(self):
+        good = " ".join(["7"] * len(SWF_FIELDS))
+        trace = loads_swf(f"x y z\nalso bad\n{good}\n", strict=False)
+        assert trace.skipped_lines == 2
+        assert load_swf(FIXTURE).skipped_lines == 0
+
+    def test_trace_info_rows_surface_skips_only_when_present(self):
+        from repro.traces.cli import _trace_summary_rows
+
+        good = " ".join(["7"] * len(SWF_FIELDS))
+        dirty = loads_swf(f"garbage\n{good}\n", strict=False)
+        assert ("skipped lines", 1) in _trace_summary_rows(dirty)
+        clean = load_swf(FIXTURE)
+        assert all(k != "skipped lines" for k, _ in _trace_summary_rows(clean))
+
+    def test_lenient_skips_warn_once_then_log_debug(self, caplog):
+        import logging
+
+        from repro.traces import swf as swf_module
+
+        good = " ".join(["7"] * len(SWF_FIELDS))
+        # An earlier CLI test may have turned off propagation on the
+        # package logger; caplog listens on the root logger.
+        logger = logging.getLogger("repro")
+        propagate_before = logger.propagate
+        logger.propagate = True
+        swf_module._SKIP_WARNED[0] = False
+        try:
+            with caplog.at_level("WARNING"):
+                loads_swf(f"bad\n{good}\n", strict=False)
+                loads_swf(f"bad again\n{good}\n", strict=False)
+        finally:
+            logger.propagate = propagate_before
+            swf_module._SKIP_WARNED[0] = False
+        warnings = [
+            r.getMessage() for r in caplog.records if r.levelname == "WARNING"
+        ]
+        assert len(warnings) == 1
+        assert "lenient parse skipped" in warnings[0]
