@@ -18,7 +18,7 @@ standalone via ``PYTHONPATH=src python benchmarks/bench_kernel_micro.py``.
 
 Floors are set 3-8x below the throughput of a 2024-era dev container, so
 they only trip on genuine algorithmic regressions, not machine jitter.
-When ``BENCH_8.json`` already exists in the working directory (CI writes it
+When ``BENCH_10.json`` already exists in the working directory (CI writes it
 via ``python -m repro obs bench`` first), the measured rates are merged
 into its ``kernel_micro`` section.
 """
@@ -47,7 +47,7 @@ FIT_FLOOR = 50_000  # requests/s through one fit() pass
 DISPATCH_FLOOR = 1_000_000  # events/s through Simulator.run (issue 7 target)
 
 #: Merged-report file; sections are only written when it already exists.
-BENCH_REPORT = "BENCH_8.json"
+BENCH_REPORT = "BENCH_10.json"
 
 
 def _median_rate(units: int, body: Callable[[], None], repeats: int = 3) -> float:

@@ -13,7 +13,7 @@ uses this mode); set ``BENCH_MILLION_JOBS=1`` for the full million:
 
     BENCH_MILLION_JOBS=1 PYTHONPATH=src python benchmarks/bench_million_jobs.py
 
-When ``BENCH_8.json`` already exists in the working directory the phase
+When ``BENCH_10.json`` already exists in the working directory the phase
 timings are merged into its ``million_jobs`` section.
 """
 from __future__ import annotations
@@ -35,7 +35,7 @@ JOB_COUNT = 1_000_000 if FULL_RUN else 100_000
 BUDGET_SECONDS = 300.0 if FULL_RUN else 90.0
 SEED = 7
 
-BENCH_REPORT = "BENCH_8.json"
+BENCH_REPORT = "BENCH_10.json"
 
 
 def _merge_into_bench_report(payload: Dict[str, object]) -> None:

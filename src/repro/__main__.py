@@ -19,6 +19,7 @@ import sys
 from typing import List, Optional
 
 from .campaign.cli import add_campaign_commands, run_campaign_command
+from .dist.cli import add_dist_commands, run_dist_command
 from .federation.cli import add_federation_commands, run_federation_command
 from .obs.cli import add_obs_commands, run_obs_command
 from .obs.logsetup import logging_setup
@@ -30,6 +31,7 @@ __all__ = ["COMMAND_GROUPS", "build_parser", "main"]
 #: The registered command groups, in help-listing order.
 COMMAND_GROUPS = (
     ("campaign", add_campaign_commands, run_campaign_command),
+    ("dist", add_dist_commands, run_dist_command),
     ("trace", add_trace_commands, run_trace_command),
     ("policy", add_policy_commands, run_policy_command),
     ("federation", add_federation_commands, run_federation_command),

@@ -32,7 +32,7 @@ from ..obs.logsetup import get_logger
 from ..policies.registry import resolve_policy
 from . import builtin  # noqa: F401  (registers the built-in scenarios)
 from .registry import builtin_scenarios, resolve_scenarios
-from .runner import CampaignRunner
+from .runner import CampaignInterrupted, CampaignRunner
 from .spec import SCALE_NAMES, CampaignSpec
 from .store import ResultStore
 
@@ -102,6 +102,33 @@ def add_campaign_commands(commands: argparse._SubParsersAction) -> None:
         help="evaluate every run against an SLO spec ('default' or a path "
         "to a spec JSON file); verdicts land in the run records ('slo' "
         "field, aggregated by 'campaign report')",
+    )
+    run.add_argument(
+        "--backend", choices=("pool", "dist"), default="pool",
+        help="execution backend: the in-host multiprocessing pool, or the "
+        "coordinator/worker service (identical store rows either way)",
+    )
+    run.add_argument(
+        "--transport", choices=("thread", "ipc", "tcp"), default="thread",
+        help="dist backend transport: in-thread loopback, subprocess pipes "
+        "or TCP sockets (default thread)",
+    )
+    run.add_argument(
+        "--dist-workers", type=int, default=None, metavar="N",
+        help="dist backend worker count (defaults to --workers)",
+    )
+    run.add_argument(
+        "--resume", action="store_true",
+        help="skip runs whose idempotency key already has a store row "
+        "(works on both backends; implies --append)",
+    )
+    run.add_argument(
+        "--lease-ttl", type=float, default=30.0, metavar="SECONDS",
+        help="dist backend: lease expiry without completion or heartbeat",
+    )
+    run.add_argument(
+        "--dist-kill-after", default=None, metavar="IDX:N[,IDX:N...]",
+        help="chaos (testing): kill dist worker IDX after its Nth lease",
     )
 
     listing = actions.add_parser("list", help="list stored campaigns")
@@ -226,15 +253,67 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # A missing or malformed --slo spec file fails before any run starts.
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    result = runner.run(workers=args.workers, append=args.append)
+
+    dist_config = None
+    workers = args.workers
+    if args.backend == "dist":
+        from ..dist.coordinator import DistConfig
+
+        try:
+            kills = _parse_kill_spec(args.dist_kill_after)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        dist_config = DistConfig(
+            transport=args.transport,
+            lease_ttl=args.lease_ttl,
+            kill_after_leases=kills,
+        )
+        if args.dist_workers is not None:
+            workers = args.dist_workers
+
+    try:
+        result = runner.run(
+            workers=workers,
+            append=args.append,
+            backend=args.backend,
+            resume=args.resume,
+            dist=dist_config,
+        )
+    except CampaignInterrupted as exc:
+        partial = exc.result
+        print(
+            f"interrupted: {len(partial.records)} completed run(s) flushed to "
+            f"{partial.store_path}; re-run with --resume to finish",
+            file=sys.stderr,
+        )
+        return 130
     if args.trace_dir:
         _LOG.info("event traces written under %s", args.trace_dir)
+    skipped = f" ({result.skipped} resumed)" if result.skipped else ""
     print(
-        f"campaign {spec.name!r}: {len(result.records)} runs in "
-        f"{result.elapsed_seconds:.2f}s with {result.workers} worker(s) "
-        f"-> {result.store_path}"
+        f"campaign {spec.name!r}: {len(result.records)} runs{skipped} in "
+        f"{result.elapsed_seconds:.2f}s with {result.workers} "
+        f"{result.backend} worker(s) -> {result.store_path}"
     )
     return 0
+
+
+def _parse_kill_spec(text: Optional[str]) -> dict:
+    """``"0:1,2:3"`` -> ``{0: 1, 2: 3}`` (worker index -> kill after Nth lease)."""
+    kills = {}
+    for part in (text or "").split(","):
+        part = part.strip()
+        if not part:
+            continue
+        index, _, count = part.partition(":")
+        try:
+            kills[int(index)] = int(count)
+        except ValueError:
+            raise ValueError(
+                f"--dist-kill-after expects IDX:N pairs, got {part!r}"
+            ) from None
+    return kills
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -361,6 +440,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
     # scenario -- identical workload per seed in both matrices.
     _print_matrix_comparisons(matrix, "policy comparison")
     _print_matrix_comparisons(routing_matrix, "routing comparison")
+    meta = store.load_meta(args.name)
+    if meta and meta.get("dist"):
+        print()
+        print("== distributed execution (last run) ==")
+        rows = [(k, v) for k, v in sorted(meta["dist"].items())]
+        print(format_table(["counter", "value"], rows))
     return 0
 
 

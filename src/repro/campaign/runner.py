@@ -18,10 +18,13 @@ records, which the integration tests assert.
 from __future__ import annotations
 
 import multiprocessing
+import signal
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Mapping, Optional
+from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple
 
 from ..obs import EventTracer, MetricsRegistry, PhaseProfiler, observe
 from ..sim.randomness import derive_seed
@@ -29,8 +32,19 @@ from . import builtin  # noqa: F401  (registers the built-in runners)
 from .registry import consume_provenance, get_runner
 from .spec import CampaignSpec, ScenarioSpec
 from .store import ResultStore
+from .units import unit_key
 
-__all__ = ["RunTask", "CampaignResult", "CampaignRunner", "trace_filename"]
+__all__ = [
+    "RunTask",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignInterrupted",
+    "BACKEND_NAMES",
+    "trace_filename",
+]
+
+#: The registered execution backends of :meth:`CampaignRunner.run`.
+BACKEND_NAMES: Tuple[str, ...] = ("pool", "dist")
 
 #: Progress callback: called with (completed, total, record) per finished run.
 ProgressFn = Callable[[int, int, Mapping], None]
@@ -69,12 +83,73 @@ class CampaignResult:
     elapsed_seconds: float
     workers: int
     store_path: Optional[str] = None
+    #: Execution backend that produced the records (``pool`` or ``dist``).
+    backend: str = "pool"
+    #: True when the execution was interrupted and drained early; the
+    #: records then cover only the completed prefix of the grid.
+    interrupted: bool = False
+    #: Runs skipped by ``--resume`` (idempotency key already in the store).
+    skipped: int = 0
+    #: Flat ``dist_*`` counters of the distributed backend (``None`` on pool).
+    dist_stats: Optional[Dict] = None
 
     def metrics_of(self, scenario: str, replicate: int = 0) -> Dict:
         for record in self.records:
             if record["scenario"] == scenario and record["replicate"] == replicate:
                 return record["metrics"]
         raise KeyError(f"no record for scenario {scenario!r} replicate {replicate}")
+
+
+class CampaignInterrupted(RuntimeError):
+    """A campaign execution was interrupted (``SIGINT``/``SIGTERM``).
+
+    In-flight runs were drained and every completed record was flushed to
+    the store; the partial :class:`CampaignResult` rides along so callers
+    (the CLI exits 130) can report what survived.  Re-running with
+    ``--resume`` completes the remainder.
+    """
+
+    def __init__(self, result: "CampaignResult"):
+        super().__init__(
+            f"campaign {result.spec.name!r} interrupted after "
+            f"{len(result.records)} of its runs"
+        )
+        self.result = result
+
+
+@contextmanager
+def _sigterm_as_interrupt():
+    """Turn SIGTERM into ``KeyboardInterrupt`` for the enclosed block.
+
+    Signal handlers can only be installed from the main thread; anywhere
+    else (a campaign run inside a test worker thread) the block is a no-op
+    and only ^C interrupts.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    previous = signal.getsignal(signal.SIGTERM)
+
+    def handler(signum, _frame):
+        raise KeyboardInterrupt(f"signal {signum}")
+
+    signal.signal(signal.SIGTERM, handler)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
+def _pool_worker_init() -> None:
+    """Pool workers must not inherit the parent's interrupt handling.
+
+    Ignoring SIGINT lets a terminal ^C (delivered to the whole process
+    group) interrupt only the parent, which then drains and terminates the
+    pool deliberately; restoring SIGTERM's default keeps that termination
+    quiet.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
 
 
 def trace_filename(scenario: str, replicate: int) -> str:
@@ -117,6 +192,10 @@ def _execute_task(task: RunTask) -> Dict:
         "runner": task.scenario.runner,
         "scale": task.scenario.scale,
         "metrics": metrics,
+        # The unit's idempotency key: what --resume and the distributed
+        # backend deduplicate against.  A pure function of the task, so it
+        # never perturbs byte-identity across backends or worker counts.
+        "unit": unit_key(task),
     }
     # Workload provenance (trace fingerprint, model parameters, transform
     # chain) published by the runner rides along in the persisted record.
@@ -194,40 +273,63 @@ class CampaignRunner:
         ]
 
     def run(
-        self, workers: Optional[int] = None, append: bool = False
+        self,
+        workers: Optional[int] = None,
+        append: bool = False,
+        backend: str = "pool",
+        resume: bool = False,
+        dist=None,
     ) -> CampaignResult:
         """Execute every task and return (and optionally persist) the records.
 
         *workers* overrides the spec's worker count.  Results stream through
         the progress callback as they complete (arbitrary order), but the
-        returned and persisted records are always canonically ordered.
+        returned and persisted records are always canonically ordered --
+        byte-identical across worker counts **and backends**.
+
+        *backend* selects the execution tier: ``pool`` (the in-host
+        multiprocessing pool) or ``dist`` (the coordinator/worker service of
+        :mod:`repro.dist`; *dist* optionally carries its
+        :class:`~repro.dist.coordinator.DistConfig`, and ``workers=0`` serves
+        external workers only).  *resume* skips every run whose idempotency
+        key already has a store row and implies ``append``.
+
+        ``SIGINT``/``SIGTERM`` interrupt gracefully on both backends:
+        in-flight runs drain, completed records flush to the store, and
+        :class:`CampaignInterrupted` (carrying the partial result) is raised.
         """
+        if backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {backend!r}; known backends: {list(BACKEND_NAMES)}"
+            )
         workers = self.spec.workers if workers is None else workers
-        if workers <= 0:
+        if workers <= 0 and not (backend == "dist" and workers == 0):
             raise ValueError("workers must be positive")
         tasks = self.tasks()
-        workers = min(workers, len(tasks)) or 1
+
+        completed_keys: Set[str] = set()
+        if resume:
+            append = True  # resumption always extends the existing rows
+            if self.store is not None:
+                completed_keys = self.store.completed_unit_keys(self.spec.name)
 
         started = time.perf_counter()
-        completed = 0
-        records: List[Dict] = []
-        if workers == 1:
-            for task in tasks:
-                record = _execute_task(task)
-                records.append(record)
-                completed += 1
-                if self.progress is not None:
-                    self.progress(completed, len(tasks), record)
-        else:
-            # Worker processes import this module afresh (under spawn) or
-            # inherit it (under fork); either way the built-in runners are
-            # registered by the module import above before tasks execute.
-            with multiprocessing.Pool(processes=workers) as pool:
-                for record in pool.imap_unordered(_execute_task, tasks, chunksize=1):
-                    records.append(record)
-                    completed += 1
-                    if self.progress is not None:
-                        self.progress(completed, len(tasks), record)
+        interrupted = False
+        skipped = 0
+        dist_stats: Optional[Dict] = None
+        with _sigterm_as_interrupt():
+            if backend == "dist":
+                records, skipped, dist_stats, interrupted = self._run_dist(
+                    tasks, workers, completed_keys, dist
+                )
+            else:
+                if completed_keys:
+                    pending = [t for t in tasks if unit_key(t) not in completed_keys]
+                    skipped = len(tasks) - len(pending)
+                else:
+                    pending = tasks
+                workers = min(workers, len(pending)) or 1
+                records, interrupted = self._run_pool(pending, workers)
         elapsed = time.perf_counter() - started
 
         order = {
@@ -255,19 +357,112 @@ class CampaignRunner:
                 self.store.save_campaign(self.spec, records, append=append)
             meta = {
                 "workers": workers,
+                "backend": backend,
                 "elapsed_seconds": elapsed,
                 "run_count": len(records),
+                "interrupted": interrupted,
+                "skipped": skipped,
                 "finished_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
                 "phase_seconds": profiler.snapshot(),
             }
+            if dist_stats is not None:
+                # Runtime distribution counters are non-deterministic under
+                # retries and kills; they belong in meta.json, never in the
+                # byte-stable runs.jsonl.
+                meta["dist"] = dist_stats
             store_path = str(
                 self.store.save_campaign(self.spec, [], meta=meta, append=True)
             )
 
-        return CampaignResult(
+        result = CampaignResult(
             spec=self.spec,
             records=records,
             elapsed_seconds=elapsed,
             workers=workers,
             store_path=store_path,
+            backend=backend,
+            interrupted=interrupted,
+            skipped=skipped,
+            dist_stats=dist_stats,
+        )
+        if interrupted:
+            raise CampaignInterrupted(result)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Backends
+    # ------------------------------------------------------------------ #
+    def _run_pool(
+        self, tasks: List[RunTask], workers: int
+    ) -> Tuple[List[Dict], bool]:
+        """The classic in-host backend: serial loop or multiprocessing pool.
+
+        Returns ``(records, interrupted)``; on interrupt the records cover
+        every run that completed before the interrupt arrived.
+        """
+        completed = 0
+        interrupted = False
+        records: List[Dict] = []
+        if workers == 1:
+            try:
+                for task in tasks:
+                    record = _execute_task(task)
+                    records.append(record)
+                    completed += 1
+                    if self.progress is not None:
+                        self.progress(completed, len(tasks), record)
+            except KeyboardInterrupt:
+                interrupted = True
+        else:
+            # Worker processes import this module afresh (under spawn) or
+            # inherit it (under fork); either way the built-in runners are
+            # registered by the module import above before tasks execute.
+            with multiprocessing.Pool(
+                processes=workers, initializer=_pool_worker_init
+            ) as pool:
+                try:
+                    for record in pool.imap_unordered(
+                        _execute_task, tasks, chunksize=1
+                    ):
+                        records.append(record)
+                        completed += 1
+                        if self.progress is not None:
+                            self.progress(completed, len(tasks), record)
+                except KeyboardInterrupt:
+                    # The with-block exit terminates the pool; everything
+                    # already collected is kept and flushed.
+                    interrupted = True
+        return records, interrupted
+
+    def _run_dist(
+        self,
+        tasks: List[RunTask],
+        workers: int,
+        completed_keys: Set[str],
+        dist,
+    ) -> Tuple[List[Dict], int, Dict, bool]:
+        """The distributed backend: a coordinator/worker run via repro.dist.
+
+        Imported lazily so the campaign layer stays loadable without the
+        distribution tier (and free of an import cycle: repro.dist imports
+        this module for ``_execute_task``).
+        """
+        from ..dist.coordinator import Coordinator, DistConfig
+
+        config = dist if dist is not None else DistConfig()
+        coordinator = Coordinator(
+            tasks, config, progress=self.progress, completed_keys=completed_keys
+        )
+        outcome = coordinator.run(workers)
+        if outcome.failed and not outcome.interrupted:
+            preview = ", ".join(outcome.failed[:3])
+            raise RuntimeError(
+                f"{len(outcome.failed)} campaign unit(s) failed terminally "
+                f"after {config.max_attempts} attempt(s) each: {preview}"
+            )
+        return (
+            outcome.records,
+            len(outcome.skipped),
+            dict(outcome.stats),
+            outcome.interrupted,
         )

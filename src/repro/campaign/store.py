@@ -21,7 +21,7 @@ import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from ..metrics.collector import median_summary
 from ..obs import hooks as _obs
@@ -173,6 +173,31 @@ class ResultStore:
         if not path.is_file():
             return None
         return CampaignSpec.from_json(path.read_text(encoding="utf-8"))
+
+    def load_meta(self, name: str) -> Optional[Dict]:
+        """The last execution's ``meta.json``, or ``None`` when absent."""
+        path = self.campaign_dir(name) / _META_FILE
+        if not path.is_file():
+            return None
+        return json.loads(path.read_text(encoding="utf-8"))
+
+    def completed_unit_keys(self, name: str) -> Set[str]:
+        """Idempotency keys of every run already stored for a campaign.
+
+        The backbone of ``campaign run --resume`` on both backends: a task
+        whose :func:`~repro.campaign.units.unit_key` is in this set already
+        has a byte-final store row and is skipped.  Campaigns without any
+        rows (or written before the ``unit`` field existed) yield an empty
+        or partial set, which degrades safely to re-running.
+        """
+        if not self.runs_path(name).is_file():
+            return set()
+        keys: Set[str] = set()
+        for record in self.load_records(name):
+            unit = record.get("unit")
+            if unit:
+                keys.add(str(unit))
+        return keys
 
     # ------------------------------------------------------------------ #
     # Analysis

@@ -1,0 +1,53 @@
+"""Distributed campaign execution: coordinator/worker runs over RPC.
+
+The execution tier that scales campaigns past one multiprocessing pool:
+a :class:`~repro.dist.coordinator.Coordinator` owns a durable
+:class:`~repro.dist.workqueue.WorkQueue` of run units and serves pull-based
+workers over one of three interchangeable transports (in-thread loopback,
+subprocess pipes, TCP with length-prefixed JSON frames).  Determinism is
+preserved end to end: leases interleave freely, but results are keyed by
+idempotency key and reassembled in canonical order, so store rows are
+byte-identical to a serial run at any worker count.
+
+Entry points: ``campaign run --backend dist`` (embedded coordinator +
+launched workers) and the ``python -m repro dist`` command group
+(standalone coordinator, external TCP workers, live status).
+"""
+from .coordinator import Coordinator, DistConfig, DistOutcome
+from .transport import TRANSPORT_NAMES, ChannelClosed, make_transport
+from .worker import run_standalone_worker, worker_loop
+from .workqueue import WorkQueue, completed_keys_from_journal
+
+__all__ = [
+    "Coordinator",
+    "DistConfig",
+    "DistOutcome",
+    "TRANSPORT_NAMES",
+    "ChannelClosed",
+    "make_transport",
+    "worker_loop",
+    "run_standalone_worker",
+    "WorkQueue",
+    "completed_keys_from_journal",
+    "ensure_noop_runner",
+]
+
+#: Name of the no-op scenario runner used by dispatch-overhead benchmarks.
+NOOP_RUNNER = "dist-noop"
+
+
+def ensure_noop_runner() -> str:
+    """Register the benchmark no-op runner (idempotent); returns its name.
+
+    The runner does no simulation at all -- it returns a constant metric
+    dict -- so campaigns built on it measure pure dispatch overhead:
+    queue bookkeeping, RPC round-trips and record reassembly.
+    """
+    from ..campaign.registry import register_runner, runner_names
+
+    if NOOP_RUNNER not in runner_names():
+        @register_runner(NOOP_RUNNER)
+        def _noop(spec, seed):  # pragma: no cover - trivial
+            return {"noop": 1.0, "seed": float(seed)}
+
+    return NOOP_RUNNER

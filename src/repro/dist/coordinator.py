@@ -1,0 +1,310 @@
+"""The distributed campaign coordinator.
+
+The coordinator is the stateful side of the Component/CRM split: it owns
+the durable :class:`~repro.dist.workqueue.WorkQueue` of campaign run units
+and answers worker RPCs over whichever transport backend was configured.
+Workers hold no campaign state at all -- they can crash, reconnect or be
+added mid-campaign without coordination, because every unit is leased,
+retried with backoff and deduplicated by idempotency key.
+
+Determinism contract: the coordinator collects result records keyed by
+their canonical unit *index*, so however leases interleave across workers,
+:meth:`Coordinator.run` returns records in exactly the order the serial
+runner would produce them.  The store-row bytes are therefore identical to
+a pool run by construction; the integration suite checks this across all
+three transports at one and four workers.
+
+Queue, dispatch and ack events are traced on an :class:`EventTracer`
+(timestamped with a logical event counter -- the coordinator has no
+simulated clock) and mirrored into a :class:`MetricsRegistry`, so ``dist``
+campaigns are inspectable with the same obs tooling as everything else.
+"""
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..campaign.units import task_to_dict, unit_key
+from ..obs.logsetup import get_logger
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import EventTracer
+from .transport import ChannelClosed, WorkerHandle, make_transport, reply_on
+from .workqueue import WorkQueue
+
+__all__ = ["DistConfig", "DistOutcome", "Coordinator"]
+
+_LOG = get_logger("dist")
+
+
+@dataclass
+class DistConfig:
+    """Tuning knobs of one distributed campaign execution."""
+
+    #: Transport backend: ``thread`` | ``ipc`` | ``tcp``.
+    transport: str = "thread"
+    #: TCP bind endpoint (``host:port``; port 0 picks a free port).
+    bind: str = "127.0.0.1:0"
+    #: Seconds a lease stays valid without completion or heartbeat.
+    lease_ttl: float = 30.0
+    #: Attempts per unit before it is terminally failed.
+    max_attempts: int = 4
+    #: Exponential backoff: ``base * 2**(attempt-1)`` seconds, capped.
+    backoff_base: float = 0.05
+    backoff_cap: float = 5.0
+    #: Coordinator poll granularity, seconds.
+    poll_interval: float = 0.05
+    #: Heartbeat interval handed to launched workers (0 disables).
+    heartbeat_interval: float = 2.0
+    #: Optional work-queue journal path (durable queue).
+    journal: Optional[str] = None
+    #: Chaos seam: worker index -> kill that worker after its Nth lease.
+    kill_after_leases: Dict[int, int] = field(default_factory=dict)
+    #: Seconds to wait for in-flight units after an interrupt.
+    drain_timeout: float = 10.0
+    #: Abort if no unit changes state for this long (hang protection).
+    idle_timeout: float = 120.0
+
+
+@dataclass
+class DistOutcome:
+    """What one coordinator run produced."""
+
+    #: Completed result records, in canonical unit-index order.
+    records: List[Dict]
+    #: Flat ``dist_*`` counters + unit state counts (queue snapshot).
+    stats: Dict[str, object]
+    #: Unit keys that failed terminally (max attempts exhausted).
+    failed: List[str]
+    #: Unit keys skipped up front (already present in the store / journal).
+    skipped: List[str]
+    #: True when the run was interrupted and drained early.
+    interrupted: bool
+
+
+class Coordinator:
+    """Owns the work queue; schedules run units onto workers over RPC."""
+
+    def __init__(
+        self,
+        tasks: Sequence,
+        config: Optional[DistConfig] = None,
+        progress: Optional[Callable[[int, int, Dict], None]] = None,
+        completed_keys: Optional[set] = None,
+    ):
+        self.config = config or DistConfig()
+        self.progress = progress
+        self.tracer = EventTracer()
+        self.metrics = MetricsRegistry()
+        self._clock = 0  # logical timestamp for trace events
+        self.queue = WorkQueue(
+            lease_ttl=self.config.lease_ttl,
+            max_attempts=self.config.max_attempts,
+            backoff_base=self.config.backoff_base,
+            backoff_cap=self.config.backoff_cap,
+            journal=self.config.journal,
+        )
+        self._records: Dict[int, Dict] = {}
+        self._index_of: Dict[str, int] = {}
+        self.skipped: List[str] = []
+        done = set(completed_keys or ())
+        for index, task in enumerate(tasks):
+            key = unit_key(task)
+            if key in done:
+                self.skipped.append(key)
+                continue
+            self._index_of[key] = index
+            self.queue.add(key, index, task_to_dict(task))
+        self._stopping = False
+        self._ends_by_worker: Dict[str, object] = {}
+        self._transport = None
+
+    def bind(self) -> str:
+        """Create the transport now and return its bound endpoint.
+
+        Binding eagerly (before :meth:`run`) lets callers learn the actual
+        port when the configured bind uses port 0, so external workers can
+        be pointed at the coordinator before it starts serving.
+        """
+        if self._transport is None:
+            self._transport = make_transport(self.config.transport, self.config.bind)
+        return self._transport.endpoint()
+
+    # ------------------------------------------------------------------ #
+    # Tracing helpers
+    # ------------------------------------------------------------------ #
+    def _trace(self, name: str, **args) -> None:
+        ts = float(self._clock)
+        self._clock += 1
+        self.tracer.emit(ts, "dist", name, args=args)
+
+    # ------------------------------------------------------------------ #
+    # Protocol handlers
+    # ------------------------------------------------------------------ #
+    def _handle(self, end, message: Dict, now: float) -> bool:
+        """Process one worker message; returns True on queue progress."""
+        op = message.get("op")
+        worker = str(message.get("worker", "?"))
+        self._ends_by_worker[worker] = end
+        if op == "lease":
+            return self._handle_lease(end, worker, now)
+        if op == "result":
+            return self._handle_result(end, worker, message, now)
+        if op == "error":
+            return self._handle_error(end, worker, message, now)
+        if op == "heartbeat":
+            self.queue.heartbeat(worker, now)
+            return False  # one-way; no reply, no progress
+        if op == "status":
+            self._safe_reply(end, {"op": "status", **self.queue.snapshot()})
+            return False
+        _LOG.warning("ignoring unknown op %r from %s", op, worker)
+        return False
+
+    def _handle_lease(self, end, worker: str, now: float) -> bool:
+        if self._stopping or self.queue.all_done():
+            self._safe_reply(end, {"op": "stop"})
+            return False
+        unit = self.queue.lease(worker, now)
+        if unit is None:
+            self._safe_reply(end, {"op": "wait"})
+            return False
+        self._trace("grant", key=unit.key, worker=worker, attempt=unit.attempts)
+        self.metrics.inc("dist_grants")
+        self._safe_reply(end, {"op": "grant", "key": unit.key, "task": unit.task})
+        return True
+
+    def _handle_result(self, end, worker: str, message: Dict, now: float) -> bool:
+        key = str(message.get("key", ""))
+        accepted = self.queue.complete(key, worker, now)
+        if accepted:
+            record = dict(message["record"])
+            self._records[self._index_of[key]] = record
+            self._trace("ack", key=key, worker=worker)
+            self.metrics.inc("dist_acks")
+            if self.progress is not None:
+                # Same signature as the pool backend's progress callback.
+                self.progress(len(self._records), len(self.queue), record)
+        else:
+            self._trace("dedup", key=key, worker=worker)
+            self.metrics.inc("dist_dedup_hits")
+        self._safe_reply(end, {"op": "ack"})
+        return accepted
+
+    def _handle_error(self, end, worker: str, message: Dict, now: float) -> bool:
+        key = str(message.get("key", ""))
+        error = str(message.get("error", ""))
+        state = self.queue.fail(key, worker, now, error=error)
+        self._trace("retry", key=key, worker=worker, state=state)
+        self.metrics.inc("dist_errors")
+        _LOG.warning("unit %s failed on %s (-> %s): %s", key, worker, state, error)
+        self._safe_reply(end, {"op": "ack"})
+        return True
+
+    def _safe_reply(self, end, message: Dict) -> None:
+        try:
+            reply_on(end, message)
+        except ChannelClosed:
+            pass  # the poll loop will surface the EOF and release leases
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def run(self, workers: int) -> DistOutcome:
+        """Execute the queue on *workers* launched workers.
+
+        ``workers=0`` launches none and serves external workers only (the
+        ``python -m repro dist coordinator`` mode).  Returns when every
+        unit is done or terminally failed, or -- after an interrupt --
+        when in-flight units drained or the drain deadline passed.
+        """
+        config = self.config
+        transport = self._transport or make_transport(config.transport, config.bind)
+        self._transport = None  # consumed; run() owns its lifetime now
+        handles: List[WorkerHandle] = []
+        self._ends_by_worker.clear()
+        interrupted = False
+        self._trace("queue", units=len(self.queue), skipped=len(self.skipped),
+                    transport=config.transport, workers=workers)
+        try:
+            for i in range(workers):
+                options = {
+                    "poll_interval": config.poll_interval,
+                    "heartbeat_interval": config.heartbeat_interval,
+                    "kill_after_leases": config.kill_after_leases.get(i, 0),
+                }
+                handles.append(transport.launch_worker(f"w{i}", options))
+            try:
+                interrupted = self._serve(transport)
+            except KeyboardInterrupt:
+                interrupted = True
+                self._stopping = True
+                _LOG.warning("interrupted; draining in-flight units")
+                self._drain(transport)
+        finally:
+            transport.close()
+            for handle in handles:
+                if handle.process is not None and handle.alive():
+                    handle.process.terminate()
+                handle.join(timeout=2.0)
+        stats = self.queue.snapshot()
+        self.metrics.gauge("dist_workers", float(workers))
+        records = [self._records[i] for i in sorted(self._records)]
+        failed = [u.key for u in self.queue.failed_units()]
+        return DistOutcome(
+            records=records,
+            stats=stats,
+            failed=failed,
+            skipped=list(self.skipped),
+            interrupted=interrupted,
+        )
+
+    def _serve(self, transport) -> bool:
+        """Poll/dispatch until the queue drains; returns interrupted flag."""
+        config = self.config
+        last_progress = time.monotonic()
+        while not self.queue.all_done():
+            progressed = self._step(transport)
+            now = time.monotonic()
+            if progressed:
+                last_progress = now
+            elif now - last_progress > config.idle_timeout:
+                counts = self.queue.counts()
+                raise RuntimeError(
+                    f"distributed campaign stalled: no unit changed state for "
+                    f"{config.idle_timeout:.0f}s (queue: {counts})"
+                )
+        return False
+
+    def _step(self, transport) -> bool:
+        """One poll round; returns True when any unit changed state."""
+        progressed = False
+        now = time.monotonic()
+        for end, message in transport.poll(self.config.poll_interval):
+            if message is None:  # worker disconnected
+                gone = [w for w, e in self._ends_by_worker.items() if e is end]
+                for worker in gone:
+                    del self._ends_by_worker[worker]
+                    released = self.queue.release_worker(worker, time.monotonic())
+                    for key in released:
+                        self._trace("reclaim", key=key, worker=worker,
+                                    reason="disconnect")
+                        self.metrics.inc("dist_reclaims")
+                    progressed = progressed or bool(released)
+                continue
+            progressed = self._handle(end, message, now) or progressed
+        for key in self.queue.reclaim(time.monotonic()):
+            self._trace("reclaim", key=key, reason="lease expired")
+            self.metrics.inc("dist_reclaims")
+            progressed = True
+        return progressed
+
+    def _drain(self, transport) -> None:
+        """After an interrupt: accept in-flight results, grant nothing new."""
+        deadline = time.monotonic() + self.config.drain_timeout
+        while self.queue.leased_units() and time.monotonic() < deadline:
+            try:
+                self._step(transport)
+            except KeyboardInterrupt:  # second ^C: stop draining immediately
+                _LOG.warning("second interrupt; abandoning drain")
+                return

@@ -1,0 +1,234 @@
+"""The distributed campaign worker loop.
+
+A worker is a pull-based client of the coordinator: it leases one run unit
+at a time, executes it through the exact same
+:func:`repro.campaign.runner._execute_task` path the multiprocessing pool
+uses (so records are byte-identical by construction), streams the result
+record -- simulation metrics, obs/metrics snapshots, SLO verdicts, phase
+timings -- back over the channel, and asks for the next unit.
+
+Worker-side protocol (all messages are flat JSON dictionaries)::
+
+    -> {"op": "lease",  "worker": id}
+    <- {"op": "grant",  "key": k, "task": {...}} | {"op": "wait"} | {"op": "stop"}
+    -> {"op": "result", "worker": id, "key": k, "record": {...}}
+    -> {"op": "error",  "worker": id, "key": k, "error": "..."}
+    <- {"op": "ack"}
+    -> {"op": "heartbeat", "worker": id}          # one-way, never replied
+
+Heartbeats come from a daemon thread so a long-running simulation cannot
+lose its lease; a dead worker stops heartbeating (and its connection
+drops), which is exactly how the coordinator learns to reclaim its units.
+
+``kill_after_leases`` is the chaos seam (the execution-tier analogue of the
+``repro.faults`` crash events): a worker configured with it dies abruptly
+-- ``os._exit``, no result, no goodbye -- after granting that many leases,
+which the chaos tests and the CI smoke use to prove lease reclaim +
+idempotency keys deliver exactly-once store rows.
+"""
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import threading
+import time
+from typing import Dict, Mapping, Optional
+
+from ..campaign.runner import _execute_task
+from ..campaign.units import task_from_dict
+from ..obs.logsetup import get_logger
+from .transport import Channel, ChannelClosed, connect_tcp, parse_endpoint
+
+__all__ = [
+    "worker_loop",
+    "ipc_worker_entry",
+    "tcp_worker_entry",
+    "run_standalone_worker",
+    "default_worker_id",
+]
+
+_LOG = get_logger("dist")
+
+#: Process-wide execution lock for in-process (thread transport) workers:
+#: the obs hooks and the provenance slot are one-element process globals,
+#: so two simulations must never run concurrently in one process.
+_EXECUTE_LOCK = threading.Lock()
+
+#: Exit code of a chaos-killed worker (visible in the handle's exitcode).
+CHAOS_EXIT_CODE = 17
+
+
+def default_worker_id() -> str:
+    """Self-assigned identity of an external worker: host + pid."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class _Heartbeat:
+    """Daemon thread sending one-way heartbeats while the loop runs."""
+
+    def __init__(self, send, worker_id: str, interval: float):
+        self._send = send
+        self._worker_id = worker_id
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        if self._interval <= 0:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="dist-heartbeat", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                self._send({"op": "heartbeat", "worker": self._worker_id})
+            except ChannelClosed:
+                return
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
+def worker_loop(channel: Channel, worker_id: str, options: Mapping) -> int:
+    """Run the lease/execute/report loop until the coordinator says stop.
+
+    Returns a process-style exit code: 0 on a clean stop (including "the
+    coordinator went away", which after a finished campaign is the normal
+    end of an external worker), nonzero on a local protocol error.
+    """
+    poll_interval = float(options.get("poll_interval", 0.05))
+    reply_timeout = float(options.get("reply_timeout", 30.0))
+    heartbeat_interval = float(options.get("heartbeat_interval", 0.0))
+    kill_after_leases = int(options.get("kill_after_leases", 0))
+    in_process = bool(options.get("in_process", False))
+
+    send_lock = threading.Lock()
+
+    def send(message: Dict) -> None:
+        with send_lock:
+            channel.send(message)
+
+    heartbeat = _Heartbeat(send, worker_id, heartbeat_interval)
+    heartbeat.start()
+    leases = 0
+    try:
+        while True:
+            try:
+                send({"op": "lease", "worker": worker_id})
+                reply = channel.recv(reply_timeout)
+            except ChannelClosed:
+                _LOG.debug("%s: coordinator went away; exiting", worker_id)
+                return 0
+            if reply is None:
+                continue  # coordinator busy; ask again
+            op = reply.get("op")
+            if op == "stop":
+                _LOG.debug("%s: received stop", worker_id)
+                return 0
+            if op == "wait":
+                time.sleep(poll_interval)
+                continue
+            if op != "grant":
+                _LOG.warning("%s: unexpected reply %r", worker_id, op)
+                return 2
+            leases += 1
+            if kill_after_leases and leases >= kill_after_leases:
+                # Chaos: die mid-unit, silently.  In-process workers cannot
+                # os._exit (that would kill the coordinator too); closing
+                # the channel without completing the unit is the same
+                # failure as seen from the coordinator.
+                _LOG.debug("%s: chaos kill after %d lease(s)", worker_id, leases)
+                if in_process:
+                    channel.close()
+                    return CHAOS_EXIT_CODE
+                os._exit(CHAOS_EXIT_CODE)
+            key = str(reply["key"])
+            task = task_from_dict(reply["task"])
+            try:
+                if in_process:
+                    with _EXECUTE_LOCK:
+                        record = _execute_task(task)
+                else:
+                    record = _execute_task(task)
+            except Exception as exc:  # noqa: BLE001 - reported, retried upstream
+                _LOG.warning("%s: unit %s failed: %s", worker_id, key, exc)
+                outcome = {
+                    "op": "error",
+                    "worker": worker_id,
+                    "key": key,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            else:
+                outcome = {
+                    "op": "result",
+                    "worker": worker_id,
+                    "key": key,
+                    "record": record,
+                }
+            try:
+                send(outcome)
+                channel.recv(reply_timeout)  # ack (or timeout; next lease resyncs)
+            except ChannelClosed:
+                return 0
+    finally:
+        heartbeat.stop()
+        channel.close()
+
+
+# --------------------------------------------------------------------- #
+# Process entry points (top-level functions so they survive fork/spawn)
+# --------------------------------------------------------------------- #
+def _reset_signals() -> None:
+    """Launched workers must not inherit the coordinator's handlers.
+
+    A terminal ^C goes to the whole process group; ignoring SIGINT here
+    lets the coordinator drain in-flight units instead of every worker
+    dying mid-run, and SIGTERM's default keeps deliberate termination quiet.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+
+
+def ipc_worker_entry(conn, worker_id: str, options: Dict) -> None:
+    from .transport import PipeChannel
+
+    _reset_signals()
+    worker_loop(PipeChannel(conn), worker_id, options)
+
+
+def tcp_worker_entry(host: str, port: int, worker_id: str, options: Dict) -> None:
+    _reset_signals()
+    channel = _connect_with_retry(host, port, float(options.get("connect_timeout", 10.0)))
+    if channel is None:
+        os._exit(3)
+    worker_loop(channel, worker_id, options)
+
+
+def _connect_with_retry(host: str, port: int, timeout: float):
+    """Connect to a coordinator, retrying briefly while it binds/starts."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            return connect_tcp(host, port, timeout=timeout)
+        except OSError as exc:
+            if time.monotonic() >= deadline:
+                _LOG.warning("could not reach coordinator %s:%s: %s", host, port, exc)
+                return None
+            time.sleep(0.1)
+
+
+def run_standalone_worker(endpoint: str, options: Optional[Dict] = None) -> int:
+    """``python -m repro dist worker --connect host:port`` body."""
+    host, port = parse_endpoint(endpoint)
+    options = dict(options or {})
+    options.setdefault("heartbeat_interval", 5.0)
+    worker_id = str(options.get("worker_id") or default_worker_id())
+    channel = _connect_with_retry(host, port, float(options.get("connect_timeout", 10.0)))
+    if channel is None:
+        return 3
+    _LOG.info("worker %s connected to %s", worker_id, endpoint)
+    return worker_loop(channel, worker_id, options)

@@ -1,0 +1,288 @@
+"""The coordinator's durable work queue of campaign run units.
+
+Queue-based load leveling with the classic reliability trio:
+
+* **Leases with heartbeats.**  A granted unit is *leased*, not gone: the
+  worker must finish (or heartbeat) before the lease TTL expires, otherwise
+  :meth:`WorkQueue.reclaim` returns the unit to the pending set.  A worker
+  whose connection drops is released immediately
+  (:meth:`WorkQueue.release_worker`) -- crash recovery does not wait for
+  the TTL when the transport already knows the worker is gone.
+* **Retry with exponential backoff.**  A failed or reclaimed unit becomes
+  runnable again after ``backoff_base * 2**(attempts-1)`` seconds (capped),
+  up to ``max_attempts``; past that it is terminally failed and reported,
+  never silently dropped.
+* **Idempotency keys.**  Units are keyed by
+  :func:`repro.campaign.units.unit_key`; completing an already-completed
+  key is a counted no-op (``dedup_hits``), so duplicate delivery -- a
+  reclaimed unit whose original worker later reports anyway -- yields
+  exactly-once results.
+
+The queue is optionally **durable**: every state transition appends one
+JSON line to a journal file, and :func:`completed_keys_from_journal` lets a
+restarted coordinator skip everything that already finished.  (Campaign
+resume additionally dedupes against the result store itself, which is the
+authoritative record of completed work.)
+
+All timestamps are supplied by the caller (wall-clock ``time.monotonic``
+in production, hand-rolled values in tests); the queue itself never reads
+a clock, which keeps its unit tests instantaneous and exact.
+"""
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Union
+
+__all__ = ["WorkUnit", "WorkQueue", "completed_keys_from_journal"]
+
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+FAILED = "failed"
+
+
+@dataclass
+class WorkUnit:
+    """One campaign run unit and its queue bookkeeping."""
+
+    key: str
+    index: int
+    task: Dict
+    state: str = PENDING
+    attempts: int = 0
+    worker: str = ""
+    lease_deadline: float = 0.0
+    not_before: float = 0.0
+    error: str = ""
+
+
+@dataclass
+class QueueStats:
+    """Flat counters, ``dist_*``-prefixed like the fault layer's ``fault_*``."""
+
+    counters: Dict[str, int] = field(default_factory=lambda: {
+        "leases": 0,
+        "retries": 0,
+        "reclaims": 0,
+        "dedup_hits": 0,
+        "completed": 0,
+        "failed": 0,
+        "heartbeats": 0,
+    })
+
+    def bump(self, name: str, value: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def to_flat(self) -> Dict[str, float]:
+        return {f"dist_{name}": float(value) for name, value in sorted(self.counters.items())}
+
+
+class WorkQueue:
+    """In-memory work queue with leases, backoff retries and a journal."""
+
+    def __init__(
+        self,
+        lease_ttl: float = 30.0,
+        max_attempts: int = 4,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 5.0,
+        journal: Union[str, Path, None] = None,
+    ):
+        if lease_ttl <= 0:
+            raise ValueError("lease_ttl must be positive")
+        if max_attempts <= 0:
+            raise ValueError("max_attempts must be positive")
+        if backoff_base < 0 or backoff_cap < 0:
+            raise ValueError("backoff must be >= 0")
+        self.lease_ttl = float(lease_ttl)
+        self.max_attempts = int(max_attempts)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self.stats = QueueStats()
+        self._units: Dict[str, WorkUnit] = {}
+        self._order: List[str] = []
+        self._journal_path = Path(journal) if journal else None
+        if self._journal_path is not None:
+            self._journal_path.parent.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # Journal
+    # ------------------------------------------------------------------ #
+    def _journal(self, op: str, **fields) -> None:
+        if self._journal_path is None:
+            return
+        entry = {"op": op, **fields}
+        with open(self._journal_path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    # ------------------------------------------------------------------ #
+    # Population
+    # ------------------------------------------------------------------ #
+    def add(self, key: str, index: int, task: Dict) -> None:
+        if key in self._units:
+            raise ValueError(f"duplicate unit key {key!r}")
+        self._units[key] = WorkUnit(key=key, index=index, task=dict(task))
+        self._order.append(key)
+        self._journal("add", key=key, index=index)
+
+    def __len__(self) -> int:
+        return len(self._units)
+
+    def unit(self, key: str) -> WorkUnit:
+        try:
+            return self._units[key]
+        except KeyError:
+            raise KeyError(f"unknown unit key {key!r}") from None
+
+    # ------------------------------------------------------------------ #
+    # Worker-facing operations
+    # ------------------------------------------------------------------ #
+    def lease(self, worker: str, now: float) -> Optional[WorkUnit]:
+        """Grant the first runnable unit to *worker*, or ``None``.
+
+        Units are scanned in canonical (index) order; a linear scan is fine
+        at campaign granularity (hundreds to low thousands of units), and
+        keeps retry/backoff interleaving trivially correct.
+        """
+        for key in self._order:
+            unit = self._units[key]
+            if unit.state != PENDING or now < unit.not_before:
+                continue
+            unit.state = LEASED
+            unit.worker = worker
+            unit.attempts += 1
+            unit.lease_deadline = now + self.lease_ttl
+            self.stats.bump("leases")
+            self._journal("lease", key=key, worker=worker, attempt=unit.attempts)
+            return unit
+        return None
+
+    def complete(self, key: str, worker: str, now: float) -> bool:
+        """Mark a unit done; ``False`` when the key already completed.
+
+        A result for an already-done key is the duplicate-delivery case:
+        the unit was reclaimed and re-run, then the original worker
+        reported late.  Both results are byte-identical by construction
+        (records are pure functions of the task), so the second is simply
+        counted and dropped.  A result from a worker that lost its lease
+        but reports *first* is accepted -- the work is valid regardless of
+        which attempt carried it.
+        """
+        unit = self.unit(key)
+        if unit.state == DONE:
+            self.stats.bump("dedup_hits")
+            self._journal("dup", key=key, worker=worker)
+            return False
+        unit.state = DONE
+        unit.error = ""
+        self.stats.bump("completed")
+        self._journal("done", key=key, worker=worker)
+        return True
+
+    def fail(self, key: str, worker: str, now: float, error: str = "") -> str:
+        """Record a failed attempt; returns the unit's new state."""
+        unit = self.unit(key)
+        if unit.state == DONE:
+            self.stats.bump("dedup_hits")
+            return DONE
+        self._retry(unit, now, error=error, counter="retries")
+        return unit.state
+
+    def heartbeat(self, worker: str, now: float) -> int:
+        """Extend the leases of *worker*; returns how many were extended."""
+        extended = 0
+        for unit in self._units.values():
+            if unit.state == LEASED and unit.worker == worker:
+                unit.lease_deadline = now + self.lease_ttl
+                extended += 1
+        if extended:
+            self.stats.bump("heartbeats")
+        return extended
+
+    # ------------------------------------------------------------------ #
+    # Failure handling
+    # ------------------------------------------------------------------ #
+    def _retry(self, unit: WorkUnit, now: float, error: str, counter: str) -> None:
+        unit.worker = ""
+        unit.lease_deadline = 0.0
+        unit.error = error
+        if unit.attempts >= self.max_attempts:
+            unit.state = FAILED
+            self.stats.bump("failed")
+            self._journal("failed", key=unit.key, error=error)
+            return
+        backoff = min(self.backoff_cap, self.backoff_base * (2 ** max(0, unit.attempts - 1)))
+        unit.state = PENDING
+        unit.not_before = now + backoff
+        self.stats.bump(counter)
+        self._journal("retry", key=unit.key, backoff=round(backoff, 6), reason=counter)
+
+    def reclaim(self, now: float) -> List[str]:
+        """Return expired leases to the pending set; returns their keys."""
+        reclaimed = []
+        for unit in self._units.values():
+            if unit.state == LEASED and unit.lease_deadline < now:
+                self._retry(unit, now, error="lease expired", counter="reclaims")
+                reclaimed.append(unit.key)
+        return reclaimed
+
+    def release_worker(self, worker: str, now: float) -> List[str]:
+        """Reclaim every lease of a disconnected worker immediately."""
+        released = []
+        for unit in self._units.values():
+            if unit.state == LEASED and unit.worker == worker:
+                self._retry(unit, now, error="worker disconnected", counter="reclaims")
+                released.append(unit.key)
+        return released
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def all_done(self) -> bool:
+        return all(u.state in (DONE, FAILED) for u in self._units.values())
+
+    def counts(self) -> Dict[str, int]:
+        out = {PENDING: 0, LEASED: 0, DONE: 0, FAILED: 0}
+        for unit in self._units.values():
+            out[unit.state] += 1
+        return out
+
+    def failed_units(self) -> List[WorkUnit]:
+        return [self._units[k] for k in self._order if self._units[k].state == FAILED]
+
+    def leased_units(self) -> List[WorkUnit]:
+        return [self._units[k] for k in self._order if self._units[k].state == LEASED]
+
+    def snapshot(self) -> Dict[str, object]:
+        """Flat stats + state counts (the ``dist status`` payload)."""
+        counts = self.counts()
+        out: Dict[str, object] = dict(self.stats.to_flat())
+        out.update({f"units_{state}": count for state, count in sorted(counts.items())})
+        out["units_total"] = len(self._units)
+        return out
+
+
+def completed_keys_from_journal(path: Union[str, Path]) -> Set[str]:
+    """Keys recorded as done in a queue journal (crash-restart recovery).
+
+    Unparseable lines (a truncated trailing write from a killed
+    coordinator) are skipped, mirroring the result store's tolerance.
+    """
+    done: Set[str] = set()
+    journal = Path(path)
+    if not journal.is_file():
+        return done
+    with open(journal, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if entry.get("op") == "done" and entry.get("key"):
+                done.add(str(entry["key"]))
+    return done

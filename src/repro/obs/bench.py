@@ -1,6 +1,6 @@
 """The observability benchmark behind ``python -m repro obs bench``.
 
-Measures five things and writes them as one ``BENCH_8.json`` report:
+Measures six things and writes them as one ``BENCH_10.json`` report:
 
 * **Scheduler throughput** (requests/second for one scheduling pass), with
   observation disabled *and* enabled -- both must beat the 5,000 req/s
@@ -17,6 +17,10 @@ Measures five things and writes them as one ``BENCH_8.json`` report:
   comparing ``run()`` against a bare ``while sim.step(): pass`` loop over
   the same event population bounds the tracing-disabled overhead.  CI
   asserts it stays under 5%.
+* **Distributed dispatch overhead**: run units per second pushed through
+  the full coordinator/worker RPC path (in-thread transport, no-op
+  simulation), so queue bookkeeping + framing + record reassembly can
+  never dominate real campaign runs.  Floor: 200 units/s.
 * **A wall-clock phase breakdown** of one instrumented fig9 run (trace
   ingest / scheduling / event dispatch), demonstrating the profiler
   end to end.
@@ -42,8 +46,8 @@ from .tracer import EventTracer
 
 __all__ = ["run_bench", "BENCH_FILE", "FLOORS"]
 
-#: Default report file name; the "8" ties the artefact to this PR's issue.
-BENCH_FILE = "BENCH_8.json"
+#: Default report file name; the "10" ties the artefact to this PR's issue.
+BENCH_FILE = "BENCH_10.json"
 
 #: Acceptance floors, identical to the standalone benchmark suites.
 FLOORS: Dict[str, float] = {
@@ -52,6 +56,7 @@ FLOORS: Dict[str, float] = {
     "trace_ingest_jobs_per_second": 100_000.0,
     "engine_dispatch_events_per_second": 1_000_000.0,
     "tracing_disabled_overhead_pct": 5.0,  # ceiling, not a floor
+    "dist_units_per_second": 200.0,
 }
 
 
@@ -205,6 +210,39 @@ def bench_engine_overhead(events: int = 50_000, repeats: int = 7) -> Dict[str, f
 
 
 # --------------------------------------------------------------------- #
+# Distributed dispatch overhead
+# --------------------------------------------------------------------- #
+def bench_dist(units: int = 64, workers: int = 4, repeats: int = 3) -> Dict[str, float]:
+    """Run units per second through the coordinator/worker RPC path.
+
+    Every unit is a no-op scenario run, so the measured rate is pure
+    distribution overhead: queue bookkeeping, lease/result round-trips over
+    the in-thread transport, and canonical record reassembly.
+    """
+    from ..campaign.runner import CampaignRunner
+    from ..campaign.spec import CampaignSpec, ScenarioSpec
+    from ..dist import ensure_noop_runner
+    from ..dist.coordinator import Coordinator, DistConfig
+
+    runner_name = ensure_noop_runner()
+    spec = CampaignSpec(
+        name="dist-overhead",
+        scenarios=(ScenarioSpec(name="noop", runner=runner_name),),
+        seeds=units,
+    )
+    tasks = CampaignRunner(spec).tasks()
+
+    def one_campaign() -> None:
+        outcome = Coordinator(
+            tasks, DistConfig(transport="thread", poll_interval=0.001)
+        ).run(workers)
+        assert len(outcome.records) == units
+
+    seconds = _median_seconds(one_campaign, repeats)
+    return {"dist_units_per_second": units / seconds if seconds else math.inf}
+
+
+# --------------------------------------------------------------------- #
 # End-to-end phase breakdown of one instrumented run
 # --------------------------------------------------------------------- #
 def bench_phase_breakdown(scenario: str = "fig9", seed: int = 1) -> Dict[str, Dict[str, float]]:
@@ -234,6 +272,7 @@ def run_bench(
     results.update(bench_trace_ingest(repeats=max(3, repeats // 2 + 1)))
     results.update(bench_engine_dispatch(repeats=max(3, repeats // 2 + 1)))
     results.update(bench_engine_overhead(repeats=max(7, repeats)))
+    results.update(bench_dist(repeats=max(3, repeats // 2 + 1)))
 
     failures = []
     if results["scheduler_requests_per_second"] < FLOORS["scheduler_requests_per_second"]:
@@ -269,10 +308,15 @@ def run_bench(
             f"disabled-tracing overhead {results['tracing_disabled_overhead_pct']:.2f}% "
             f"above the {FLOORS['tracing_disabled_overhead_pct']:.1f}% ceiling"
         )
+    if results["dist_units_per_second"] < FLOORS["dist_units_per_second"]:
+        failures.append(
+            f"dist dispatch {results['dist_units_per_second']:.0f} units/s "
+            f"below the {FLOORS['dist_units_per_second']:.0f} floor"
+        )
 
     report: Dict[str, object] = {
         "bench": "repro.obs",
-        "issue": 8,
+        "issue": 10,
         "python": sys.version.split()[0],
         "floors": FLOORS,
         "results": results,

@@ -11,7 +11,7 @@ Commands::
     python -m repro obs report --scenario fig9 --seed 1
     python -m repro obs trajectory --dir .
     python -m repro obs diff a.trace.jsonl b.trace.jsonl
-    python -m repro obs bench --output BENCH_8.json
+    python -m repro obs bench --output BENCH_10.json
 
 ``export`` runs one scenario under the event tracer and writes the trace as
 Chrome ``trace_event`` JSON (open it in ``chrome://tracing`` or Perfetto) or
@@ -24,7 +24,7 @@ as one text dashboard.  ``trajectory`` diffs the committed ``BENCH_*.json``
 perf snapshots and fails on a rate regression.  ``diff`` compares two JSONL
 traces and pinpoints the first divergence -- the exports are deterministic,
 so any difference is a real behavioural difference.  ``bench`` runs the
-observability benchmark suite and writes the ``BENCH_8.json`` perf snapshot
+observability benchmark suite and writes the ``BENCH_10.json`` perf snapshot
 CI archives.
 """
 from __future__ import annotations
@@ -136,7 +136,7 @@ def add_obs_commands(commands: argparse._SubParsersAction) -> None:
     diff.add_argument("trace_b", help="second JSONL trace file")
 
     bench = actions.add_parser(
-        "bench", help="run the observability benchmark suite (BENCH_8.json)"
+        "bench", help="run the observability benchmark suite (BENCH_10.json)"
     )
     bench.add_argument(
         "--output", default=None, help="write the JSON report to this file"

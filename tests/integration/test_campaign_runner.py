@@ -265,6 +265,7 @@ class TestStoredRecordShape:
             "runner",
             "scale",
             "metrics",
+            "unit",
         }
         assert record["scenario"] == "baseline-dynamic"
         assert record["base_scenario"] == "baseline-dynamic"
@@ -274,3 +275,88 @@ class TestStoredRecordShape:
         assert record["replicate"] == 0
         assert record["runner"] == "amr_psa"
         assert record["scale"] == "tiny"
+        assert record["unit"].startswith("baseline-dynamic:r0:")
+
+
+class TestGracefulShutdown:
+    def test_interrupt_flushes_partial_results(self, tmp_path):
+        """^C mid-campaign drains, persists the completed prefix and raises."""
+        from repro.campaign.runner import CampaignInterrupted
+
+        spec = make_spec(seeds=2)
+        store = ResultStore(tmp_path)
+
+        def interrupt_after_two(done, _total, _record):
+            if done == 2:
+                raise KeyboardInterrupt
+
+        runner = CampaignRunner(spec, store=store, progress=interrupt_after_two)
+        with pytest.raises(CampaignInterrupted) as excinfo:
+            runner.run(workers=1)
+        partial = excinfo.value.result
+        assert partial.interrupted
+        assert len(partial.records) == 2
+        # The completed prefix reached the store, and meta records the abort.
+        lines = store.runs_path(spec.name).read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert store.load_meta(spec.name)["interrupted"] is True
+
+    def test_resume_completes_an_interrupted_campaign(self, tmp_path):
+        from repro.campaign.runner import CampaignInterrupted
+
+        spec = make_spec(seeds=2)
+        store = ResultStore(tmp_path)
+
+        def interrupt_after_two(done, _total, _record):
+            if done == 2:
+                raise KeyboardInterrupt
+
+        with pytest.raises(CampaignInterrupted):
+            CampaignRunner(spec, store=store, progress=interrupt_after_two).run(
+                workers=1
+            )
+        result = CampaignRunner(spec, store=store).run(workers=1, resume=True)
+        assert result.skipped == 2
+        assert len(result.records) == 2
+        # The final store holds the full grid exactly once, rows matching a
+        # clean serial run line-for-line (resume appends, so order may not).
+        reference = make_spec(seeds=2, name="reference")
+        CampaignRunner(reference, store=store).run(workers=1)
+        resumed = store.runs_path(spec.name).read_text().strip().splitlines()
+        clean = store.runs_path("reference").read_text().strip().splitlines()
+        assert sorted(resumed) == sorted(clean)
+
+
+class TestPoolResume:
+    def test_resume_is_a_noop_on_a_complete_campaign(self, tmp_path):
+        spec = make_spec(seeds=2)
+        store = ResultStore(tmp_path)
+        CampaignRunner(spec, store=store).run(workers=1)
+        before = store.runs_path(spec.name).read_bytes()
+        result = CampaignRunner(spec, store=store).run(workers=1, resume=True)
+        assert result.skipped == 4
+        assert result.records == []
+        assert store.runs_path(spec.name).read_bytes() == before
+
+    def test_resume_without_prior_rows_runs_everything(self, tmp_path):
+        spec = make_spec(seeds=1)
+        store = ResultStore(tmp_path)
+        result = CampaignRunner(spec, store=store).run(workers=1, resume=True)
+        assert result.skipped == 0
+        assert len(result.records) == 2
+
+    def test_cli_resume_flag(self, tmp_path, capsys):
+        argv = [
+            "campaign", "run", "--scenarios", "baseline-dynamic", "--seeds", "1",
+            "--results-dir", str(tmp_path), "--name", "r", "--quiet",
+        ]
+        assert cli_main(argv) == 0
+        capsys.readouterr()
+        assert cli_main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "0 runs (1 resumed)" in out
+
+    def test_unknown_backend_is_an_error(self, tmp_path):
+        spec = make_spec(seeds=1)
+        with pytest.raises(ValueError, match="known backends"):
+            CampaignRunner(spec).run(workers=1, backend="slurm")
